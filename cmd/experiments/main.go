@@ -1,0 +1,114 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated platform. See DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -fig 6          # just Fig 6 (and 7, which shares runs)
+//	experiments -fig 1,3a,3b    # the characterization figures
+//	experiments -apps 12 -csv   # scaled down, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"parm/internal/expr"
+	"parm/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		figs    = flag.String("fig", "all", "comma-separated figures: 1, 3a, 3b, 6, 7, 8, overhead, darksilicon, profiles, or all")
+		numApps = flag.Int("apps", 20, "applications per sequence for Figs 6-8")
+		seed    = flag.Int64("seed", 42, "workload generation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	opt := expr.Options{NumApps: *numApps, Seed: *seed}
+	if !*quiet {
+		opt.Verbose = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	emit := func(t *report.Table) {
+		var err error
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.Write(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if all || want["1"] {
+		t, err := expr.Fig1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["3a"] {
+		t, err := expr.Fig3a()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["3b"] {
+		t, err := expr.Fig3b()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["6"] || want["7"] {
+		t6, t7, err := expr.Fig6and7(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if all || want["6"] {
+			emit(t6)
+		}
+		if all || want["7"] {
+			emit(t7)
+		}
+	}
+	if all || want["8"] {
+		t, err := expr.Fig8(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+	}
+	if all || want["overhead"] {
+		emit(expr.OverheadTable())
+	}
+	if all || want["darksilicon"] {
+		emit(expr.DarkSiliconTable())
+	}
+	if all || want["profiles"] {
+		emit(expr.BenchmarkProfileTable())
+	}
+}

@@ -1,0 +1,200 @@
+// Command parmsim runs one PARM simulation: a workload sequence executed on
+// the modeled 60-core 7nm CMP under a chosen mapping framework and NoC
+// routing scheme, printing run metrics and per-application outcomes.
+//
+// Usage:
+//
+//	parmsim -mapper PARM -routing PANR -workload mixed -apps 20 -gap 0.1 -seed 42 [-soft] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"parm/internal/appmodel"
+	"parm/internal/core"
+	"parm/internal/power"
+	"parm/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parmsim: ")
+
+	var (
+		mapper   = flag.String("mapper", "PARM", "mapping framework: PARM or HM")
+		routing  = flag.String("routing", "PANR", "NoC routing: XY, WestFirst, ICON, or PANR")
+		workload = flag.String("workload", "mixed", "workload kind: compute, comm, or mixed")
+		numApps  = flag.Int("apps", 20, "number of applications in the sequence")
+		gap      = flag.Float64("gap", 0.1, "inter-application arrival gap in seconds")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		soft     = flag.Bool("soft", false, "advisory deadlines: never drop applications")
+		dspb     = flag.Float64("dspb", 65, "dark silicon power budget in watts")
+		verbose  = flag.Bool("v", false, "print per-application outcomes")
+		jsonOut  = flag.Bool("json", false, "emit metrics as JSON instead of tables")
+		traceCSV = flag.String("trace", "", "write the PSN time series as CSV to this file")
+		loadPath = flag.String("load", "", "load the workload from a JSON file instead of generating it")
+		explain  = flag.Bool("explain", false, "print Algorithm 1's selection trace for the first application")
+		savePath = flag.String("save", "", "save the generated workload as JSON to this file")
+	)
+	flag.Parse()
+
+	fw, err := core.Combo(*mapper, *routing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := power.MustParams(power.Node7)
+
+	var w *appmodel.Workload
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err = appmodel.ReadWorkloadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		kind, err := parseKind(*workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err = appmodel.Generate(appmodel.WorkloadConfig{
+			Kind: kind, NumApps: *numApps, ArrivalGap: *gap, Node: node, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := core.Config{SoftDeadlines: *soft}
+	cfg.Chip.DsPB = *dspb
+	if *explain {
+		steps, err := core.ExplainOnEmptyChip(cfg, fw, w.Apps[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		et := report.NewTable(fmt.Sprintf("Algorithm 1 selection trace for %s (deadline %.1f ms)",
+			w.Apps[0], w.Apps[0].RelDeadline*1e3),
+			"vdd(V)", "dop", "wcet(ms)", "deadline", "power(W)", "dspb", "mapping", "chosen")
+		mark := func(ok bool) string {
+			if ok {
+				return "ok"
+			}
+			return "fail"
+		}
+		for _, st := range steps {
+			if st.Skipped {
+				et.AddRow(st.Vdd, st.DoP, st.WCET*1e3, "skipped", "-", "-", "-", "")
+				continue
+			}
+			if !st.DeadlineOK {
+				et.AddRow(st.Vdd, st.DoP, st.WCET*1e3, "fail", "-", "-", "-", "")
+				continue
+			}
+			chosen := ""
+			if st.Chosen {
+				chosen = "<== selected"
+			}
+			mapping := "-"
+			if st.MappingTried {
+				mapping = mark(st.MappingOK)
+			}
+			et.AddRow(st.Vdd, st.DoP, st.WCET*1e3, "ok", st.PowerW, mark(st.PowerOK), mapping, chosen)
+		}
+		if err := et.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	eng, err := core.NewEngine(cfg, fw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trace *core.Trace
+	if *traceCSV != "" {
+		trace = eng.EnableTrace()
+	}
+	m, err := eng.Run(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonOut {
+		if err := m.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	t := report.NewTable(fmt.Sprintf("%s on %s workload (%d apps, seed %d)",
+		m.Framework, m.Workload, len(w.Apps), *seed), "metric", "value")
+	t.AddRow("total execution time (s)", m.TotalTime)
+	t.AddRow("peak PSN (%)", m.PeakPSN*100)
+	t.AddRow("average PSN (%)", m.AvgPSN*100)
+	t.AddRow("applications completed", m.Completed)
+	t.AddRow("applications dropped", m.Dropped)
+	t.AddRow("voltage emergencies", m.TotalVEs)
+	t.AddRow("mean packet latency (cycles)", m.MeanPacketLatency)
+	t.AddRow("total energy (J)", m.TotalEnergyJ)
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *verbose {
+		fmt.Println()
+		pt := report.NewTable("per-application outcomes",
+			"app", "bench", "state", "vdd(V)", "dop", "wait(ms)", "turnaround(ms)", "VEs", "deadlineMet")
+		for _, o := range m.Apps {
+			turn := 0.0
+			if o.State == core.StateCompleted {
+				turn = (o.CompletedAt - o.App.Arrival) * 1e3
+			}
+			pt.AddRow(o.App.ID, o.App.Bench.Name, o.State.String(), o.Vdd, o.DoP,
+				o.WaitTime*1e3, turn, o.VEs, o.DeadlineMet)
+		}
+		if err := pt.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func parseKind(s string) (appmodel.WorkloadKind, error) {
+	switch s {
+	case "compute":
+		return appmodel.WorkloadCompute, nil
+	case "comm":
+		return appmodel.WorkloadComm, nil
+	case "mixed":
+		return appmodel.WorkloadMixed, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q (want compute, comm, or mixed)", s)
+	}
+}

@@ -1,0 +1,59 @@
+// Oversubscribed: the scenario of the paper's Fig. 8 — applications arrive
+// faster than the chip can drain them, and the resource manager decides who
+// runs and who is dropped. Compares the HM baseline against PARM across
+// arrival rates on a communication-intensive sequence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"parm/internal/appmodel"
+	"parm/internal/core"
+	"parm/internal/power"
+	"parm/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	node := power.MustParams(power.Node7)
+	frameworks := []core.Framework{
+		core.MustCombo("HM", "XY"),
+		core.MustCombo("PARM", "XY"),
+		core.MustCombo("PARM", "PANR"),
+	}
+	gaps := []float64{0.2, 0.1, 0.05}
+
+	t := report.NewTable("applications completed out of 20 (communication-intensive)",
+		"framework", "0.2s gap", "0.1s gap", "0.05s gap", "peakPSN@0.05s(%)")
+	for _, fw := range frameworks {
+		var done []interface{}
+		var peak float64
+		for _, gap := range gaps {
+			w, err := appmodel.Generate(appmodel.WorkloadConfig{
+				Kind: appmodel.WorkloadComm, NumApps: 20, ArrivalGap: gap, Node: node, Seed: 42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng, err := core.NewEngine(core.Config{}, fw)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, err := eng.Run(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			done = append(done, m.Completed)
+			peak = m.PeakPSN * 100
+		}
+		t.AddRow(append([]interface{}{fw.Name}, append(done, peak)...)...)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPARM fits more applications by lowering Vdd and widening DoP within the")
+	fmt.Println("dark-silicon budget; HM's fixed parallelism forces higher voltages and power.")
+}

@@ -1,0 +1,100 @@
+// Pdnsweep: exercise the power-delivery-network transient solver directly —
+// the experiment behind the paper's Figs. 1 and 3. Sweeps supply voltage
+// and technology node, and demonstrates the task-pair interference effect
+// (High-Low adjacency is noisier than High-High or Low-Low, and 2-hop
+// separation interferes less than 1-hop).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"parm/internal/pdn"
+	"parm/internal/power"
+	"parm/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Peak PSN at near-threshold voltage across technology nodes (Fig 1).
+	t1 := report.NewTable("peak PSN at NTC across technology nodes (unmanaged domain)",
+		"node", "vdd(V)", "peakPSN(%)")
+	for _, n := range power.Nodes {
+		p := power.MustParams(n)
+		res, err := pdn.SimulateDomain(pdn.Config{Params: p, Vdd: p.VNTC}, fullDomain(p, p.VNTC, false))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1.AddRow(n.String(), p.VNTC, res.DomainPeak()*100)
+	}
+	must(t1.Write(os.Stdout))
+	fmt.Println()
+
+	// Vdd sweep at 7nm, managed (staggered) vs unmanaged (Fig 3a).
+	p := power.MustParams(power.Node7)
+	t2 := report.NewTable("peak PSN vs Vdd at 7nm", "vdd(V)", "unmanaged(%)", "staggered(%)")
+	for _, v := range p.VddLevels(0.1) {
+		un, err := pdn.SimulateDomain(pdn.Config{Params: p, Vdd: v}, fullDomain(p, v, false))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := pdn.SimulateDomain(pdn.Config{Params: p, Vdd: v}, fullDomain(p, v, true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(v, un.DomainPeak()*100, st.DomainPeak()*100)
+	}
+	must(t2.Write(os.Stdout))
+	fmt.Println()
+
+	// Task-pair interference (Fig 3b): observe the raw domain peaks.
+	t3 := report.NewTable("task-pair peak PSN at 0.5V (7nm)", "pair", "peakPSN(%)")
+	for _, pr := range []struct {
+		name   string
+		a, b   pdn.Class
+		sa, sb int
+	}{
+		{"High-High adjacent", pdn.High, pdn.High, 0, 1},
+		{"High-Low adjacent", pdn.High, pdn.Low, 0, 1},
+		{"Low-Low adjacent", pdn.Low, pdn.Low, 0, 1},
+		{"High-Low diagonal", pdn.High, pdn.Low, 0, 3},
+	} {
+		var occ [pdn.DomainTiles]pdn.TileOccupant
+		occ[pr.sa] = occupant(p, 0.5, pr.a)
+		occ[pr.sb] = occupant(p, 0.5, pr.b)
+		res, err := pdn.SimulateDomain(pdn.Config{Params: p, Vdd: 0.5}, pdn.BuildLoads(occ))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t3.AddRow(pr.name, res.DomainPeak()*100)
+	}
+	must(t3.Write(os.Stdout))
+}
+
+func occupant(p power.NodeParams, vdd float64, class pdn.Class) pdn.TileOccupant {
+	act := 0.9
+	if class == pdn.Low {
+		act = 0.35
+	}
+	return pdn.TileOccupant{IAvg: p.TileCurrent(vdd, act, 0.3), Class: class}
+}
+
+func fullDomain(p power.NodeParams, vdd float64, staggered bool) [pdn.DomainTiles]pdn.TileLoad {
+	var occ [pdn.DomainTiles]pdn.TileOccupant
+	for i := range occ {
+		occ[i] = pdn.TileOccupant{
+			IAvg:      p.TileCurrent(vdd, 0.9, 0.4),
+			Class:     pdn.High,
+			Staggered: staggered,
+		}
+	}
+	return pdn.BuildLoads(occ)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module parm
+
+go 1.22

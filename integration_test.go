@@ -1,0 +1,132 @@
+package parm
+
+import (
+	"strings"
+	"testing"
+
+	"parm/internal/appmodel"
+	"parm/internal/chip"
+	"parm/internal/core"
+	"parm/internal/mapping"
+	"parm/internal/pdn"
+	"parm/internal/power"
+)
+
+// End-to-end determinism: the full pipeline (workload generation, mapping,
+// NoC measurement, PDN sampling, VE accounting) produces bitwise-identical
+// metrics across runs.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() *core.Metrics {
+		node := power.MustParams(power.Node7)
+		w, err := appmodel.Generate(appmodel.WorkloadConfig{
+			Kind: appmodel.WorkloadMixed, NumApps: 5, ArrivalGap: 0.07, Node: node, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.NewEngine(core.Config{}, core.MustCombo("PARM", "PANR"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.TotalTime != b.TotalTime || a.PeakPSN != b.PeakPSN ||
+		a.TotalVEs != b.TotalVEs || a.TotalEnergyJ != b.TotalEnergyJ {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// A saved workload replays to the same outcome as the original.
+func TestWorkloadReplayEquivalence(t *testing.T) {
+	node := power.MustParams(power.Node7)
+	w1, err := appmodel.Generate(appmodel.WorkloadConfig{
+		Kind: appmodel.WorkloadComm, NumApps: 4, ArrivalGap: 0.1, Node: node, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := w1.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := appmodel.ReadWorkloadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w *appmodel.Workload) *core.Metrics {
+		eng, err := core.NewEngine(core.Config{}, core.MustCombo("PARM", "XY"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(w1), run(w2)
+	if a.TotalTime != b.TotalTime || a.Completed != b.Completed || a.PeakPSN != b.PeakPSN {
+		t.Errorf("replay differs: %+v vs %+v", a, b)
+	}
+}
+
+// The cross-layer invariant behind the whole paper: on the same chip, a
+// PARM placement of a mixed-activity application produces lower peak PSN
+// than an HM placement of the same application at the same voltage.
+func TestMappingPSNOrdering(t *testing.T) {
+	bench, err := appmodel.BenchmarkByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bench.Graph(16)
+	peakFor := func(m mapping.Mapper) float64 {
+		c, err := chip.New(chip.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, ok := m.Map(c, g)
+		if !ok {
+			t.Fatalf("%s failed to map", m.Name())
+		}
+		for _, d := range pl.Domains {
+			if err := c.AssignDomain(d, 0, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for task, tile := range pl.TaskTile {
+			if err := c.PlaceTask(tile, 0, int(task), g.Tasks[task].Activity); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := c.SamplePSN(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.ChipPeak()
+	}
+	parm := peakFor(mapping.PARM{})
+	hm := peakFor(mapping.HM{})
+	if parm >= hm {
+		t.Errorf("PARM peak %g not below HM %g for the same app", parm, hm)
+	}
+}
+
+// The voltage-emergency margin is consistent across layers: pdn defines it,
+// the runtime charges rollbacks above it.
+func TestVEThresholdConsistency(t *testing.T) {
+	if pdn.VEThreshold != 0.05 {
+		t.Fatalf("VE threshold = %g, paper uses 5%%", pdn.VEThreshold)
+	}
+}
+
+// Version sanity for the release.
+func TestVersion(t *testing.T) {
+	if Version == "" {
+		t.Fatal("empty version")
+	}
+}

@@ -1,0 +1,172 @@
+// Package appmodel provides the application workload model consumed by the
+// PARM runtime: the 13 SPLASH-2 / PARSEC benchmarks of the paper's
+// evaluation, their task graphs (APGs), and the offline profile data
+// (worst-case execution time, power, switching activity, communication
+// volume) that the paper collects with GEM5 and McPAT.
+//
+// Profiles here are generated from a parametric analytic model (see
+// DESIGN.md, substitution table): execution time follows an Amdahl
+// serial/parallel split plus a synchronization overhead that grows with the
+// degree of parallelism (DoP), so that most applications stop scaling past
+// DoP 32 exactly as the paper observes; communication-intensive benchmarks
+// carry heavy APG edges and more Low-activity (stall-bound) tasks, while
+// compute-intensive benchmarks have mostly High-activity tasks. Everything
+// is deterministic given the benchmark name.
+package appmodel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Kind classifies a benchmark as in §5.1 of the paper.
+type Kind int
+
+// Benchmark kinds.
+const (
+	ComputeIntensive Kind = iota
+	CommIntensive
+)
+
+// String returns "compute" or "comm".
+func (k Kind) String() string {
+	if k == CommIntensive {
+		return "comm"
+	}
+	return "compute"
+}
+
+// Shape selects the APG topology generated for a benchmark.
+type Shape int
+
+// APG shapes, chosen to reflect the real benchmark's parallel structure.
+const (
+	// ShapeForkJoin is a root task fanning out to workers that join at a
+	// sink (embarrassingly parallel financial/physics kernels).
+	ShapeForkJoin Shape = iota
+	// ShapePipeline is a linear chain of stages, each stage a group of
+	// tasks, with all-to-all edges between consecutive stages (streaming
+	// apps like dedup and vips).
+	ShapePipeline
+	// ShapeButterfly has log2(n) stages with stride-doubling exchanges
+	// (FFT, radix sort).
+	ShapeButterfly
+	// ShapeTree is a binary reduction tree (elimination trees, radiosity
+	// gather).
+	ShapeTree
+	// ShapeStencil connects each task to its mesh neighbors (particle and
+	// streaming-cluster codes).
+	ShapeStencil
+)
+
+// Benchmark describes one application of the evaluation workload and the
+// parameters of its analytic profile.
+type Benchmark struct {
+	// Name is the SPLASH-2 / PARSEC benchmark name.
+	Name string
+	// Kind is the paper's classification (radix appears in both groups; it
+	// is modeled once with intermediate parameters and listed in both).
+	Kind Kind
+	// Shape selects the APG generator.
+	Shape Shape
+
+	// WorkGCycles is the total computational work in giga-clock-cycles.
+	WorkGCycles float64
+	// SerialFrac is the Amdahl serial fraction in [0,1).
+	SerialFrac float64
+	// SyncKCyclesPerTask is the per-task synchronization overhead in
+	// kilo-cycles added for every unit of DoP; it makes speedup roll off
+	// beyond DoP ~32.
+	SyncKCyclesPerTask float64
+	// CommMBTotal is the application's total communication volume in
+	// megabytes over its life, split across the APG edges (so per-edge
+	// volume shrinks as DoP grows and the data is partitioned wider).
+	CommMBTotal float64
+	// HighTaskFrac is the fraction of tasks with High switching activity.
+	HighTaskFrac float64
+}
+
+// benchTable lists the 13 benchmarks of §5.1. Communication-intensive:
+// cholesky, fft, radix, raytrace, dedup, canneal, vips. Compute-intensive:
+// swaptions, fluidanimate, streamcluster, blackscholes, radix, bodytrack,
+// radiosity. Work and volume values are representative magnitudes that put
+// a 20-application sequence in the paper's tens-of-seconds range.
+var benchTable = []Benchmark{
+	{Name: "cholesky", Kind: CommIntensive, Shape: ShapeTree,
+		WorkGCycles: 1.4, SerialFrac: 0.03, SyncKCyclesPerTask: 220, CommMBTotal: 5400, HighTaskFrac: 0.40},
+	{Name: "fft", Kind: CommIntensive, Shape: ShapeButterfly,
+		WorkGCycles: 1.1, SerialFrac: 0.02, SyncKCyclesPerTask: 180, CommMBTotal: 7200, HighTaskFrac: 0.35},
+	{Name: "radix", Kind: CommIntensive, Shape: ShapeButterfly,
+		WorkGCycles: 1.6, SerialFrac: 0.025, SyncKCyclesPerTask: 200, CommMBTotal: 6300, HighTaskFrac: 0.55},
+	{Name: "raytrace", Kind: CommIntensive, Shape: ShapeForkJoin,
+		WorkGCycles: 2.2, SerialFrac: 0.04, SyncKCyclesPerTask: 160, CommMBTotal: 6000, HighTaskFrac: 0.45},
+	{Name: "dedup", Kind: CommIntensive, Shape: ShapePipeline,
+		WorkGCycles: 1.8, SerialFrac: 0.035, SyncKCyclesPerTask: 240, CommMBTotal: 7800, HighTaskFrac: 0.30},
+	{Name: "canneal", Kind: CommIntensive, Shape: ShapeStencil,
+		WorkGCycles: 2.0, SerialFrac: 0.045, SyncKCyclesPerTask: 260, CommMBTotal: 6600, HighTaskFrac: 0.35},
+	{Name: "vips", Kind: CommIntensive, Shape: ShapePipeline,
+		WorkGCycles: 1.7, SerialFrac: 0.025, SyncKCyclesPerTask: 210, CommMBTotal: 6300, HighTaskFrac: 0.40},
+	{Name: "swaptions", Kind: ComputeIntensive, Shape: ShapeForkJoin,
+		WorkGCycles: 2.6, SerialFrac: 0.01, SyncKCyclesPerTask: 90, CommMBTotal: 120, HighTaskFrac: 0.85},
+	{Name: "fluidanimate", Kind: ComputeIntensive, Shape: ShapeStencil,
+		WorkGCycles: 2.4, SerialFrac: 0.02, SyncKCyclesPerTask: 130, CommMBTotal: 260, HighTaskFrac: 0.75},
+	{Name: "streamcluster", Kind: ComputeIntensive, Shape: ShapeStencil,
+		WorkGCycles: 2.8, SerialFrac: 0.025, SyncKCyclesPerTask: 140, CommMBTotal: 280, HighTaskFrac: 0.70},
+	{Name: "blackscholes", Kind: ComputeIntensive, Shape: ShapeForkJoin,
+		WorkGCycles: 2.0, SerialFrac: 0.008, SyncKCyclesPerTask: 70, CommMBTotal: 90, HighTaskFrac: 0.90},
+	{Name: "bodytrack", Kind: ComputeIntensive, Shape: ShapeForkJoin,
+		WorkGCycles: 2.3, SerialFrac: 0.03, SyncKCyclesPerTask: 150, CommMBTotal: 220, HighTaskFrac: 0.80},
+	{Name: "radiosity", Kind: ComputeIntensive, Shape: ShapeTree,
+		WorkGCycles: 2.5, SerialFrac: 0.025, SyncKCyclesPerTask: 120, CommMBTotal: 180, HighTaskFrac: 0.80},
+}
+
+// Benchmarks returns all 13 modeled benchmarks.
+func Benchmarks() []Benchmark {
+	out := make([]Benchmark, len(benchTable))
+	copy(out, benchTable)
+	return out
+}
+
+// BenchmarkByName returns the named benchmark, or an error for an unknown
+// name.
+func BenchmarkByName(name string) (Benchmark, error) {
+	for _, b := range benchTable {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("appmodel: unknown benchmark %q", name)
+}
+
+// BenchmarksOfKind returns the benchmark group of §5.1 for the given kind.
+// radix, which the paper places in both groups, is included in both.
+func BenchmarksOfKind(k Kind) []Benchmark {
+	var out []Benchmark
+	for _, b := range benchTable {
+		if b.Kind == k || b.Name == "radix" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DoPValues lists the permitted degrees of parallelism: multiples of 4 from
+// 4 to 32 (paper §3.3 and §5.1).
+func DoPValues() []int { return []int{4, 8, 12, 16, 20, 24, 28, 32} }
+
+// MinDoP and MaxDoP bound the permitted degree of parallelism.
+const (
+	MinDoP = 4
+	MaxDoP = 32
+)
+
+// seededRand returns a deterministic RNG for the given benchmark name and
+// stream label, so profile generation is reproducible across runs.
+func seededRand(name, stream string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(stream))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}

@@ -1,0 +1,103 @@
+package chip
+
+import (
+	"fmt"
+	"strings"
+
+	"parm/internal/geom"
+	"parm/internal/pdn"
+)
+
+// View renders the chip occupancy as an ASCII map: one cell per tile
+// showing the occupying application (letters cycle a-z by app ID) and the
+// task's activity class (uppercase = High, lowercase = Low, '.' = idle).
+// Rows are printed north to south so the output matches the mesh drawing
+// convention used in the paper's figures.
+func (c *Chip) View() string {
+	var b strings.Builder
+	for y := c.Mesh.Height - 1; y >= 0; y-- {
+		for x := 0; x < c.Mesh.Width; x++ {
+			t := c.Mesh.TileAt(geom.Coord{X: x, Y: y})
+			o := c.occupants[t]
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			if o.App == NoApp {
+				b.WriteString(" .")
+				continue
+			}
+			letter := byte('a' + o.App%26)
+			if o.Class == pdn.High {
+				letter = byte('A' + o.App%26)
+			}
+			b.WriteByte(letter)
+			b.WriteByte(activityMark(o))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PSNView renders a per-tile PSN heatmap: digits 0-9 scale linearly up to
+// 2x the VE threshold, '*' marks tiles at or beyond it. psn holds one
+// fraction per tile; rows print north to south.
+func (c *Chip) PSNView(psn []float64) string {
+	var b strings.Builder
+	if len(psn) != c.Mesh.NumTiles() {
+		return fmt.Sprintf("psn view: want %d samples, got %d\n", c.Mesh.NumTiles(), len(psn))
+	}
+	const threshold = 0.05
+	for y := c.Mesh.Height - 1; y >= 0; y-- {
+		for x := 0; x < c.Mesh.Width; x++ {
+			t := c.Mesh.TileAt(geom.Coord{X: x, Y: y})
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			v := psn[t]
+			switch {
+			case v >= threshold:
+				b.WriteByte('*')
+			case v <= 0:
+				b.WriteByte('.')
+			default:
+				d := int(v / (2 * threshold) * 10)
+				if d > 9 {
+					d = 9
+				}
+				b.WriteByte(byte('0' + d))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DomainView summarizes each domain row by row: the owning app and Vdd.
+func (c *Chip) DomainView() string {
+	var b strings.Builder
+	dw := c.Mesh.Width / 2
+	dh := c.Mesh.Height / 2
+	for dy := dh - 1; dy >= 0; dy-- {
+		for dx := 0; dx < dw; dx++ {
+			d := &c.domains[dy*dw+dx]
+			if dx > 0 {
+				b.WriteString("  ")
+			}
+			if !d.Occupied() {
+				b.WriteString("[ free  ]")
+				continue
+			}
+			fmt.Fprintf(&b, "[a%02d %.1fV]", d.App%100, d.Vdd)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// activityMark returns '+' for High occupants and '-' for Low.
+func activityMark(o Occupant) byte {
+	if o.Class == pdn.High {
+		return '+'
+	}
+	return '-'
+}

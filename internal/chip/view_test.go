@@ -1,0 +1,81 @@
+package chip
+
+import (
+	"strings"
+	"testing"
+
+	"parm/internal/pdn"
+)
+
+func TestViewIdleChip(t *testing.T) {
+	c := mkChip(t)
+	v := c.View()
+	lines := strings.Split(strings.TrimRight(v, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d rows, want 6", len(lines))
+	}
+	if strings.ContainsAny(v, "ABab") {
+		t.Error("idle chip shows occupants")
+	}
+}
+
+func TestViewShowsOccupants(t *testing.T) {
+	c := mkChip(t)
+	if err := c.AssignDomain(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	dom := c.Domain(0)
+	if err := c.PlaceTask(dom.Tiles[0], 1, 0, pdn.High); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlaceTask(dom.Tiles[1], 1, 1, pdn.Low); err != nil {
+		t.Fatal(err)
+	}
+	v := c.View()
+	if !strings.Contains(v, "B+") {
+		t.Errorf("High task of app 1 not shown as B+:\n%s", v)
+	}
+	if !strings.Contains(v, "b-") {
+		t.Errorf("Low task of app 1 not shown as b-:\n%s", v)
+	}
+	// Domain 0 is at the south-west corner: occupants on the LAST line.
+	lines := strings.Split(strings.TrimRight(v, "\n"), "\n")
+	if !strings.Contains(lines[len(lines)-1], "B+") {
+		t.Error("south row not printed last")
+	}
+}
+
+func TestDomainView(t *testing.T) {
+	c := mkChip(t)
+	if err := c.AssignDomain(3, 7, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	v := c.DomainView()
+	if !strings.Contains(v, "[a07 0.6V]") {
+		t.Errorf("occupied domain not rendered:\n%s", v)
+	}
+	if strings.Count(v, "[ free  ]") != 14 {
+		t.Errorf("expected 14 free domains:\n%s", v)
+	}
+}
+
+func TestPSNView(t *testing.T) {
+	c := mkChip(t)
+	psn := make([]float64, c.Mesh.NumTiles())
+	psn[0] = 0.06  // emergency
+	psn[1] = 0.025 // digit 2
+	psn[2] = 0.049 // digit 4
+	v := c.PSNView(psn)
+	lines := strings.Split(strings.TrimRight(v, "\n"), "\n")
+	bottom := lines[len(lines)-1]
+	if bottom[0] != '*' {
+		t.Errorf("emergency tile not starred: %q", bottom)
+	}
+	if !strings.HasPrefix(bottom, "* 2 4") {
+		t.Errorf("heatmap digits wrong: %q", bottom)
+	}
+	// Wrong-length input degrades gracefully.
+	if !strings.Contains(c.PSNView([]float64{1}), "want 60") {
+		t.Error("short input not reported")
+	}
+}

@@ -1,0 +1,692 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"parm/internal/appmodel"
+	"parm/internal/chip"
+	"parm/internal/mapping"
+	"parm/internal/noc"
+	"parm/internal/pdn"
+	"parm/internal/sched"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Chip configures the CMP platform (defaults: 10x6 mesh, 7nm, 65 W).
+	Chip chip.Config
+	// NoC configures the network simulator.
+	NoC noc.Config
+	// SamplePeriod is the PSN sampling interval in seconds (paper §5.1
+	// samples periodically and at map/unmap events). Zero selects 10 ms.
+	SamplePeriod float64
+	// WindowCycles is the NoC measurement window length. Zero selects 12000.
+	WindowCycles int
+	// WarmupCycles precede each measurement window. Zero selects 2000.
+	WarmupCycles int
+	// RouterHz is the NoC clock for cycle-to-seconds conversion (paper
+	// §4.4: hop selection at 1 GHz). Zero selects 1 GHz.
+	RouterHz float64
+	// MaxSimTime is a safety cap on simulated time. Zero selects 300 s.
+	MaxSimTime float64
+	// SensorBits is the PSN sensor quantization. Zero selects 6 bits.
+	SensorBits uint
+	// SoftDeadlines makes deadlines advisory: the (Vdd, DoP) selection
+	// still targets the application's relative deadline, but applications
+	// are never dropped — an exhausted search restarts at the next exit
+	// event. Used for throughput experiments where every application must
+	// execute (paper Fig. 6/7); the oversubscription study (Fig. 8) keeps
+	// hard deadlines.
+	SoftDeadlines bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 0.01
+	}
+	if c.WindowCycles <= 0 {
+		c.WindowCycles = 8000
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = 1500
+	}
+	if c.RouterHz <= 0 {
+		c.RouterHz = 1e9
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 300
+	}
+	if c.SensorBits == 0 {
+		c.SensorBits = 6
+	}
+	return c
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evCompletion
+	evSample
+)
+
+type event struct {
+	t    float64
+	kind int
+	app  int
+	seq  int // insertion order, for deterministic tie-breaking
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// runningApp is the engine's record of a mapped application.
+type runningApp struct {
+	app       *appmodel.App
+	graph     *appmodel.APG
+	placement *mapping.Placement
+	vdd       float64
+	dop       int
+	freq      float64
+	power     float64
+	flows     []noc.Flow
+	// flowEdges parallels flows with the APG edge each flow realizes.
+	flowEdges []appmodel.Edge
+
+	mappedAt       float64
+	completionTime float64
+	ves            int
+	avgLat         float64
+}
+
+// Engine simulates one framework executing one workload on one chip.
+type Engine struct {
+	cfg Config
+	fw  Framework
+
+	chip    *chip.Chip
+	now     float64
+	events  eventHeap
+	seq     int
+	queue   []*queueEntry
+	running map[int]*runningApp
+
+	arrivalsLeft int
+
+	env        noc.Env
+	sensor     *pdn.Sensor
+	routerUtil []float64
+
+	outcomes map[int]*AppOutcome
+	metrics  Metrics
+
+	psnTimeIntegral float64
+	psnActiveTime   float64
+	lastSampleT     float64
+	nextSampleDue   float64
+
+	trace *Trace
+}
+
+// NewEngine builds an engine for the framework under cfg.
+func NewEngine(cfg Config, fw Framework) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	c, err := chip.New(cfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	if fw.Mapper == nil || fw.Routing == nil {
+		return nil, fmt.Errorf("core: framework %q missing mapper or routing", fw.Name)
+	}
+	n := c.Mesh.NumTiles()
+	e := &Engine{
+		cfg:        cfg,
+		fw:         fw,
+		chip:       c,
+		running:    make(map[int]*runningApp),
+		env:        noc.Env{PSN: make([]float64, n)},
+		sensor:     pdn.NewSensor(n, cfg.SensorBits, 0.20),
+		routerUtil: make([]float64, n),
+		outcomes:   make(map[int]*AppOutcome),
+	}
+	e.cfg.NoC.Width = cfg.Chip.Width
+	e.cfg.NoC.Height = cfg.Chip.Height
+	if e.cfg.NoC.Width == 0 {
+		e.cfg.NoC.Width, e.cfg.NoC.Height = c.Mesh.Width, c.Mesh.Height
+	}
+	return e, nil
+}
+
+// Chip exposes the platform for inspection (examples, tests).
+func (e *Engine) Chip() *chip.Chip { return e.chip }
+
+func (e *Engine) push(t float64, kind, app int) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, kind: kind, app: app, seq: e.seq})
+}
+
+// Run executes the workload to completion (or the safety cap) and returns
+// the run metrics.
+func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
+	if w == nil || len(w.Apps) == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	e.metrics = Metrics{Framework: e.fw.Name, Workload: w.Kind.String()}
+	e.arrivalsLeft = len(w.Apps)
+	apps := make(map[int]*appmodel.App, len(w.Apps))
+	for _, a := range w.Apps {
+		if _, dup := apps[a.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate app ID %d", a.ID)
+		}
+		apps[a.ID] = a
+		e.outcomes[a.ID] = &AppOutcome{App: a, State: StateUnfinished}
+		e.push(a.Arrival, evArrival, a.ID)
+	}
+	e.scheduleSample(0)
+
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t > e.cfg.MaxSimTime {
+			break
+		}
+		e.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			e.arrivalsLeft--
+			e.queue = append(e.queue, &queueEntry{app: apps[ev.app]})
+			if err := e.trySchedule(false); err != nil {
+				return nil, err
+			}
+		case evCompletion:
+			ra, ok := e.running[ev.app]
+			if !ok || ra.completionTime > e.now+1e-12 {
+				continue // stale event (completion was pushed back by VEs)
+			}
+			if err := e.complete(ra); err != nil {
+				return nil, err
+			}
+			if err := e.trySchedule(true); err != nil {
+				return nil, err
+			}
+		case evSample:
+			if err := e.periodicSample(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Final accounting.
+	for _, a := range w.Apps {
+		o := e.outcomes[a.ID]
+		switch o.State {
+		case StateCompleted:
+			e.metrics.Completed++
+		case StateDropped:
+			e.metrics.Dropped++
+		default:
+			e.metrics.Unfinished++
+		}
+		e.metrics.TotalVEs += o.VEs
+		e.metrics.TotalEnergyJ += o.EnergyJ
+		e.metrics.Apps = append(e.metrics.Apps, *o)
+	}
+	if e.psnActiveTime > 0 {
+		e.metrics.AvgPSN = e.psnTimeIntegral / e.psnActiveTime
+	}
+	lat, nlat := 0.0, 0
+	for _, o := range e.metrics.Apps {
+		if o.State == StateCompleted && o.AvgPacketLatency > 0 {
+			lat += o.AvgPacketLatency
+			nlat++
+		}
+	}
+	if nlat > 0 {
+		e.metrics.MeanPacketLatency = lat / float64(nlat)
+	}
+	return &e.metrics, nil
+}
+
+// scheduleSample queues the next periodic PSN sample if work remains.
+func (e *Engine) scheduleSample(t float64) {
+	if e.arrivalsLeft == 0 && len(e.running) == 0 && len(e.queue) == 0 {
+		return
+	}
+	e.nextSampleDue = t
+	e.push(t, evSample, -1)
+}
+
+// queueEntry is one waiting application with its Algorithm 1 stall state.
+type queueEntry struct {
+	app *appmodel.App
+	// stalled marks that a full (Vdd, DoP) scan already failed and the app
+	// is waiting for an app-exit event before rescanning (Algorithm 1
+	// line 9: "stall till an app exit event on CMP").
+	stalled bool
+}
+
+// trySchedule services the queue head FCFS (paper §3.2): the head either
+// maps, stalls for an exit event, or is dropped once every (Vdd, DoP)
+// combination has been exhausted (Algorithm 1's anti-stagnation drop).
+// resume is true when an app-exit event just occurred, permitting a stalled
+// combination its retry.
+func (e *Engine) trySchedule(resume bool) error {
+	for len(e.queue) > 0 {
+		entry := e.queue[0]
+		if entry.stalled && !resume {
+			return nil // still waiting for an app exit event
+		}
+		decision, err := e.algorithm1(entry)
+		if err != nil {
+			return err
+		}
+		switch decision {
+		case decMapped:
+			e.queue = e.queue[1:]
+			resume = false // mapping consumed resources, not freed them
+		case decDropped:
+			e.queue = e.queue[1:]
+			o := e.outcomes[entry.app.ID]
+			o.State = StateDropped
+			if e.now > e.metrics.TotalTime {
+				e.metrics.TotalTime = e.now
+			}
+		case decWait:
+			return nil // head-of-line blocks until the next exit event
+		}
+	}
+	return nil
+}
+
+type decision int
+
+const (
+	decMapped decision = iota
+	decWait
+	decDropped
+)
+
+// vddDoPLists returns the framework's search axes: PARM searches voltages
+// in increasing order and DoP in decreasing order (Algorithm 1 lines 1-4);
+// the HM baseline fixes DoP (and optionally Vdd) and only scales voltage to
+// meet the deadline.
+func (e *Engine) vddDoPLists() (vdds []float64, dops []int) {
+	vdds = e.chip.Vdds
+	if e.fw.HighVddFirst {
+		rev := make([]float64, len(vdds))
+		for i, v := range vdds {
+			rev[len(vdds)-1-i] = v
+		}
+		vdds = rev
+	}
+	if e.fw.AdaptiveVddDoP {
+		all := appmodel.DoPValues()
+		for i := len(all) - 1; i >= 0; i-- { // descending (line 2)
+			dops = append(dops, all[i])
+		}
+		return vdds, dops
+	}
+	dops = []int{e.fw.FixedDoP}
+	if e.fw.FixedVdd > 0 {
+		vdds = []float64{e.fw.FixedVdd}
+	}
+	return vdds, dops
+}
+
+// algorithm1 runs the paper's Vdd and DoP selection for the queue head:
+// voltages in increasing order, DoP in decreasing order; a combination that
+// misses the deadline skips the remaining lower DoPs and advances the
+// voltage (line 13); a combination that meets the deadline but cannot be
+// mapped (power or region) falls through to the next lower DoP, which needs
+// fewer tiles and less power (the paper: "Selecting a lower DoP would
+// resolve both of these concerns"). When the whole scan finds deadline-
+// feasible combinations but no region, the application stalls until an app
+// exit frees resources (line 9) and rescans; when no combination can meet
+// the deadline any more, it is dropped to avoid queue stagnation.
+func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
+	app := entry.app
+	vdds, dops := e.vddDoPLists()
+	remaining := app.AbsDeadline() - e.now
+	if e.cfg.SoftDeadlines {
+		remaining = app.RelDeadline
+	}
+
+	feasible := false
+	bestVdd, bestDoP, bestWCET := 0.0, 0, inf
+	for _, vdd := range vdds {
+		for _, dop := range dops {
+			wcet := app.Bench.WCETEstimate(e.chip.Node, vdd, dop)
+			if wcet < bestWCET {
+				bestVdd, bestDoP, bestWCET = vdd, dop, wcet
+			}
+			if wcet >= remaining {
+				// Lower DoPs are no faster; next (higher) Vdd (line 13).
+				break
+			}
+			feasible = true
+			ok, err := e.tryMapAt(app, vdd, dop, wcet)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				return decMapped, nil
+			}
+		}
+	}
+	if e.cfg.SoftDeadlines && !feasible && bestDoP > 0 {
+		// Advisory deadlines: no operating point can meet this one, so run
+		// best-effort at the fastest point rather than starving the queue.
+		ok, err := e.tryMapAt(app, bestVdd, bestDoP, bestWCET)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return decMapped, nil
+		}
+	}
+	if feasible || e.cfg.SoftDeadlines {
+		entry.stalled = true
+		return decWait, nil
+	}
+	return decDropped, nil
+}
+
+// inf is a time that no real estimate reaches.
+const inf = 1e308
+
+// tryMapAt attempts to admit the app at one (Vdd, DoP) point: dark-silicon
+// power check (Algorithm 2 line 1), then the framework's mapping heuristic.
+func (e *Engine) tryMapAt(app *appmodel.App, vdd float64, dop int, wcet float64) (bool, error) {
+	power := app.Bench.PowerEstimate(e.chip.Node, vdd, dop)
+	if power > e.chip.Budget.Available() {
+		return false, nil
+	}
+	placement, ok := e.fw.Mapper.Map(e.chip, app.Graph(dop))
+	if !ok {
+		return false, nil
+	}
+	if err := e.commit(app, vdd, dop, placement, power, wcet); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// commit maps the application: reserves power, claims domains and tiles,
+// measures the NoC with the new flow set, schedules the completion event,
+// and takes the map-event PSN sample.
+func (e *Engine) commit(app *appmodel.App, vdd float64, dop int, p *mapping.Placement, power, wcet float64) error {
+	if !e.chip.Budget.Reserve(power) {
+		return fmt.Errorf("core: budget reservation raced for %s", app)
+	}
+	for _, d := range p.Domains {
+		if err := e.chip.AssignDomain(d, app.ID, vdd); err != nil {
+			return err
+		}
+	}
+	g := app.Graph(dop)
+	for task, tile := range p.TaskTile {
+		if err := e.chip.PlaceTask(tile, app.ID, int(task), g.Tasks[task].Activity); err != nil {
+			return err
+		}
+	}
+
+	ra := &runningApp{
+		app:       app,
+		graph:     g,
+		placement: p,
+		vdd:       vdd,
+		dop:       dop,
+		freq:      e.chip.Node.Frequency(vdd),
+		power:     power,
+		mappedAt:  e.now,
+	}
+	// Build the app's NoC flows: one per APG edge between distinct tiles,
+	// at the demand rate that ships the edge volume over the app's
+	// estimated execution time.
+	for _, edge := range g.Edges {
+		src, dst := p.TaskTile[edge.Src], p.TaskTile[edge.Dst]
+		if src == dst || edge.Volume <= 0 {
+			continue
+		}
+		rate := edge.Volume / appmodel.FlitBytes / (wcet * e.cfg.RouterHz)
+		ra.flows = append(ra.flows, noc.Flow{App: app.ID, Src: src, Dst: dst, Rate: rate})
+		ra.flowEdges = append(ra.flowEdges, edge)
+	}
+	e.running[app.ID] = ra
+
+	// Measure the network with all active flows and compute this app's
+	// communication delays and makespan.
+	delays, avgLat, err := e.measureNoC(ra)
+	if err != nil {
+		return err
+	}
+	ra.avgLat = avgLat
+	makespan, err := sched.SPMDMakespan(g, sched.Config{
+		Freq:              ra.freq,
+		Delay:             delays,
+		Checkpointing:     true,
+		SyncCyclesPerTask: app.Bench.SyncCyclesPerTask(dop),
+	})
+	if err != nil {
+		return err
+	}
+	ra.completionTime = e.now + makespan
+	e.push(ra.completionTime, evCompletion, app.ID)
+
+	o := e.outcomes[app.ID]
+	o.Vdd = vdd
+	o.DoP = dop
+	o.MappedAt = e.now
+	o.WaitTime = e.now - app.Arrival
+	o.AvgPacketLatency = avgLat
+
+	// Paper §5.1: PSN is sampled when an application begins execution.
+	return e.eventSample()
+}
+
+// complete finishes a running application.
+func (e *Engine) complete(ra *runningApp) error {
+	delete(e.running, ra.app.ID)
+	e.chip.ReleaseApp(ra.app.ID)
+	e.chip.Budget.Release(ra.power)
+
+	o := e.outcomes[ra.app.ID]
+	o.State = StateCompleted
+	o.CompletedAt = e.now
+	o.VEs = ra.ves
+	o.EnergyJ = ra.power * (e.now - ra.mappedAt)
+	o.DeadlineMet = e.now <= ra.app.AbsDeadline()+1e-9
+	if e.now > e.metrics.TotalTime {
+		e.metrics.TotalTime = e.now
+	}
+
+	// Re-measure the network for the remaining apps' router activity and
+	// take the unmap-event PSN sample (paper §5.1).
+	if _, _, err := e.measureNoC(nil); err != nil {
+		return err
+	}
+	return e.eventSample()
+}
+
+// activeFlows gathers all running apps' flows in deterministic order and
+// returns the flow list plus, for the requested app, the index range of its
+// flows.
+func (e *Engine) activeFlows(forApp *runningApp) ([]noc.Flow, int, int) {
+	ids := make([]int, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var flows []noc.Flow
+	start, end := -1, -1
+	for _, id := range ids {
+		ra := e.running[id]
+		if forApp != nil && ra == forApp {
+			start = len(flows)
+		}
+		flows = append(flows, ra.flows...)
+		if forApp != nil && ra == forApp {
+			end = len(flows)
+		}
+	}
+	return flows, start, end
+}
+
+// measureNoC rebuilds the network with all active flows, runs a warmup +
+// measurement window, refreshes the chip-wide router utilization, and — if
+// forApp is non-nil — returns its per-edge communication delay function and
+// average packet latency in cycles.
+func (e *Engine) measureNoC(forApp *runningApp) (sched.CommDelay, float64, error) {
+	flows, start, end := e.activeFlows(forApp)
+	for i := range e.routerUtil {
+		e.routerUtil[i] = 0
+	}
+	if len(flows) == 0 {
+		return nil, 0, nil
+	}
+	net, err := noc.NewNetwork(e.cfg.NoC, e.fw.Routing, flows, &e.env)
+	if err != nil {
+		return nil, 0, err
+	}
+	net.Run(e.cfg.WarmupCycles)
+	res := net.Measure(e.cfg.WindowCycles)
+	copy(e.routerUtil, res.RouterUtil)
+
+	if forApp == nil {
+		return nil, 0, nil
+	}
+
+	// Per-edge delay: flit count times achieved cycles-per-flit (>= 1, the
+	// link rate), plus the measured packet latency for the first packet.
+	type edgeKey struct{ src, dst appmodel.TaskID }
+	delays := make(map[edgeKey]float64, end-start)
+	totLat, nLat := 0.0, 0
+	for i := start; i < end; i++ {
+		fs := res.Flows[i]
+		edge := forApp.flowEdges[i-start]
+		flow := flows[i]
+		flits := edge.Volume / appmodel.FlitBytes
+		cpf := 1.0
+		if fs.DeliveredFlits > 0 {
+			achieved := float64(fs.DeliveredFlits) / float64(res.Cycles)
+			if achieved < flow.Rate {
+				// The flow sustained less than its demand: congestion
+				// stretches the transfer proportionally.
+				cpf = flow.Rate / achieved
+			}
+		} else if flow.Rate > 0 {
+			cpf = 10 // starved flow: heavily penalized
+		}
+		lat := fs.AvgPacketLatency()
+		if lat == 0 {
+			// No packet completed in the window; approximate with the
+			// zero-load hop latency.
+			lat = float64(net.Mesh().ManhattanDist(flow.Src, flow.Dst) + e.cfg.NoC.FlitsPerPacket)
+		}
+		totLat += lat
+		nLat++
+		delays[edgeKey{edge.Src, edge.Dst}] = (flits*cpf + lat) / e.cfg.RouterHz
+	}
+	delayFn := func(edge appmodel.Edge) float64 {
+		return delays[edgeKey{edge.Src, edge.Dst}]
+	}
+	avg := 0.0
+	if nLat > 0 {
+		avg = totLat / float64(nLat)
+	}
+	return delayFn, avg, nil
+}
+
+// eventSample takes a PSN sample at a map/unmap event: it refreshes sensors
+// and metrics but does not charge VE penalties (those accrue at the
+// periodic rate).
+func (e *Engine) eventSample() error {
+	_, err := e.samplePSN()
+	return err
+}
+
+// periodicSample takes the scheduled PSN sample, charges voltage-emergency
+// rollbacks to apps whose domains exceeded the threshold, and reschedules.
+func (e *Engine) periodicSample() error {
+	s, err := e.samplePSN()
+	if err != nil {
+		return err
+	}
+	if s != nil {
+		ids := make([]int, 0, len(e.running))
+		for id := range e.running {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			ra := e.running[id]
+			peak := 0.0
+			for _, d := range ra.placement.Domains {
+				if s.DomainPeak[d] > peak {
+					peak = s.DomainPeak[d]
+				}
+			}
+			if peak <= pdn.VEThreshold {
+				continue
+			}
+			// Exceedance-proportional VE count, clamped: deeper noise
+			// crosses the margin on more switching events per interval.
+			n := 1 + int((peak/pdn.VEThreshold-1)*8)
+			if n > 8 {
+				n = 8
+			}
+			ra.ves += n
+			e.outcomes[id].VEs = ra.ves // keep outcomes current for apps that never finish
+			penalty := float64(n) * sched.RollbackPenalty(ra.freq)
+			ra.completionTime += penalty
+			e.push(ra.completionTime, evCompletion, id)
+		}
+	}
+	e.scheduleSample(e.now + e.cfg.SamplePeriod)
+	return nil
+}
+
+// samplePSN solves the PDN for all active domains, updates sensors and
+// aggregates. It returns nil when nothing is running.
+func (e *Engine) samplePSN() (*chip.PSNSample, error) {
+	if len(e.running) == 0 {
+		e.lastSampleT = e.now
+		return nil, nil
+	}
+	s, err := e.chip.SamplePSN(e.routerUtil)
+	if err != nil {
+		return nil, err
+	}
+	for t := range s.TilePeak {
+		e.sensor.Record(t, s.TilePeak[t])
+		e.env.PSN[t] = e.sensor.Read(t)
+	}
+	if p := s.ChipPeak(); p > e.metrics.PeakPSN {
+		e.metrics.PeakPSN = p
+	}
+	dt := e.now - e.lastSampleT
+	if dt > 0 {
+		e.psnTimeIntegral += s.ActiveAvg() * dt
+		e.psnActiveTime += dt
+	}
+	e.lastSampleT = e.now
+	e.metrics.Samples++
+	e.recordTrace(s.ChipPeak(), s.ActiveAvg(), s.DomainPeak)
+	return s, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"parm/internal/appmodel"
+)
+
+func TestExplainSelectionMatchesEngine(t *testing.T) {
+	w := genWorkload(t, appmodel.WorkloadMixed, 1, 0.1, 31)
+	app := w.Apps[0]
+
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := eng.ExplainSelection(app)
+	chosen := ChosenStep(steps)
+	if chosen == nil {
+		t.Fatal("no combination selected on an empty chip")
+	}
+
+	// Running the engine must commit the same operating point.
+	m, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := m.Apps[0]
+	if o.Vdd != chosen.Vdd || o.DoP != chosen.DoP {
+		t.Errorf("engine chose (%.1f, %d), explanation said (%.1f, %d)",
+			o.Vdd, o.DoP, chosen.Vdd, chosen.DoP)
+	}
+}
+
+func TestExplainSelectionStructure(t *testing.T) {
+	w := genWorkload(t, appmodel.WorkloadCompute, 1, 0.1, 32)
+	steps, err := ExplainOnEmptyChip(Config{}, MustCombo("PARM", "XY"), w.Apps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full PARM search space: 5 voltages x 8 DoPs.
+	if len(steps) != 40 {
+		t.Fatalf("%d steps, want 40", len(steps))
+	}
+	chosenCount := 0
+	for i, st := range steps {
+		if st.Chosen {
+			chosenCount++
+			if !st.DeadlineOK || !st.PowerOK || !st.MappingOK {
+				t.Errorf("step %d chosen without passing all gates: %+v", i, st)
+			}
+		}
+		if st.Skipped && (st.DeadlineOK || st.MappingTried) {
+			t.Errorf("step %d skipped but evaluated: %+v", i, st)
+		}
+		if st.WCET <= 0 {
+			t.Errorf("step %d has no WCET", i)
+		}
+	}
+	if chosenCount != 1 {
+		t.Errorf("%d chosen steps, want exactly 1", chosenCount)
+	}
+	// Search order: voltages ascending, DoP descending within a voltage.
+	for i := 1; i < len(steps); i++ {
+		prev, cur := steps[i-1], steps[i]
+		if cur.Vdd == prev.Vdd && cur.DoP >= prev.DoP {
+			t.Fatalf("DoP not descending at step %d", i)
+		}
+		if cur.Vdd < prev.Vdd {
+			t.Fatalf("Vdd not ascending at step %d", i)
+		}
+	}
+}
+
+func TestExplainHMSearchSpace(t *testing.T) {
+	w := genWorkload(t, appmodel.WorkloadCompute, 1, 0.1, 33)
+	steps, err := ExplainOnEmptyChip(Config{}, MustCombo("HM", "XY"), w.Apps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HM: 5 voltages x the single fixed DoP.
+	if len(steps) != 5 {
+		t.Fatalf("%d steps, want 5", len(steps))
+	}
+	for _, st := range steps {
+		if st.DoP != 16 {
+			t.Errorf("HM explored DoP %d", st.DoP)
+		}
+	}
+}
+
+func TestChosenStepNil(t *testing.T) {
+	if ChosenStep(nil) != nil {
+		t.Error("nil steps produced a chosen step")
+	}
+	if ChosenStep([]SelectionStep{{Vdd: 0.4}}) != nil {
+		t.Error("unchosen step returned")
+	}
+}
+
+// The explanation is read-only: the chip must stay untouched.
+func TestExplainSelectionReadOnly(t *testing.T) {
+	w := genWorkload(t, appmodel.WorkloadMixed, 1, 0.1, 34)
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = eng.ExplainSelection(w.Apps[0])
+	if len(eng.Chip().FreeDomains()) != eng.Chip().NumDomains() {
+		t.Error("explanation occupied domains")
+	}
+	if eng.Chip().Budget.Used() != 0 {
+		t.Error("explanation reserved power")
+	}
+}

@@ -1,0 +1,27 @@
+package expr
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestFullFigures runs the paper-scale experiments (20 apps). Skipped in
+// -short mode; this is the data-generation path of cmd/experiments.
+func TestFullFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figures take minutes")
+	}
+	opt := Options{NumApps: 20, Seed: 42, Verbose: func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }}
+	t6, t7, err := Fig6and7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(t6)
+	fmt.Println(t7)
+	t8, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(t8)
+}

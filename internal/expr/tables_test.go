@@ -1,0 +1,47 @@
+package expr
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The dark-silicon table must show the paper's premise: substantial dark
+// fraction at nominal voltage, none near threshold.
+func TestDarkSiliconTableShape(t *testing.T) {
+	tbl := DarkSiliconTable()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	first := tbl.Rows[0]
+	last := tbl.Rows[len(tbl.Rows)-1]
+	darkNTC, err := strconv.ParseFloat(first[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	darkNom, err := strconv.ParseFloat(last[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if darkNTC != 0 {
+		t.Errorf("dark fraction at NTC = %g%%, want 0", darkNTC)
+	}
+	if darkNom < 30 {
+		t.Errorf("dark fraction at nominal = %g%%, want substantial", darkNom)
+	}
+}
+
+func TestBenchmarkProfileTable(t *testing.T) {
+	tbl := BenchmarkProfileTable()
+	if len(tbl.Rows) != 13 {
+		t.Fatalf("%d rows, want 13 benchmarks", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		w32, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || w32 <= 0 {
+			t.Errorf("%s: bad wcet %q", row[0], row[2])
+		}
+		if row[1] != "compute" && row[1] != "comm" {
+			t.Errorf("%s: bad class %q", row[0], row[1])
+		}
+	}
+}

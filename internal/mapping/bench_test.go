@@ -1,0 +1,51 @@
+package mapping
+
+import (
+	"testing"
+
+	"parm/internal/appmodel"
+	"parm/internal/chip"
+)
+
+// BenchmarkPARMMap times Algorithm 2 end to end at the largest DoP — the
+// per-application mapping cost inside Algorithm 1's search loop.
+func BenchmarkPARMMap(b *testing.B) {
+	g := appmodel.Benchmarks()[1].Graph(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := chip.New(chip.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := (PARM{}).Map(c, g); !ok {
+			b.Fatal("mapping failed")
+		}
+	}
+}
+
+// BenchmarkHMMap times the harmonic-mapping baseline.
+func BenchmarkHMMap(b *testing.B) {
+	g := appmodel.Benchmarks()[1].Graph(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := chip.New(chip.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := (HM{}).Map(c, g); !ok {
+			b.Fatal("mapping failed")
+		}
+	}
+}
+
+// BenchmarkClusters times the task-clustering step alone (the O(T^2)
+// component of the paper's complexity analysis, §4.3).
+func BenchmarkClusters(b *testing.B) {
+	g := appmodel.Benchmarks()[1].Graph(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := Clusters(g); len(got) != 8 {
+			b.Fatal("unexpected clustering")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package mapping
+
+import (
+	"parm/internal/appmodel"
+	"parm/internal/chip"
+	"parm/internal/geom"
+	"parm/internal/pdn"
+)
+
+// HM is the harmonic-mapping baseline of ref [21] (§5.2): it maps tasks
+// with high switching activity at long Manhattan distances from each other
+// to decorrelate their noise, scattering the application across the chip in
+// non-contiguous regions. It is agnostic of the High-Low adjacency
+// interference (Fig. 3b) and of NoC router activity.
+//
+// Like every scheme on this platform, HM allocates whole power-supply
+// domains (tasks of different applications may not share a domain, §3.3).
+type HM struct{}
+
+// Name implements Mapper.
+func (HM) Name() string { return "HM" }
+
+// Map implements Mapper.
+func (HM) Map(c *chip.Chip, g *appmodel.APG) (*Placement, bool) {
+	need := (g.NumTasks() + pdn.DomainTiles - 1) / pdn.DomainTiles
+	free := c.FreeDomains()
+	if len(free) < need {
+		return nil, false
+	}
+
+	// Pick `need` free domains spread as far apart as possible (greedy
+	// max-min dispersion): harmonic mapping wants distance between active
+	// regions.
+	selected := []chip.DomainID{free[0]}
+	taken := map[chip.DomainID]bool{free[0]: true}
+	for len(selected) < need {
+		best := chip.DomainID(-1)
+		bestMin := -1
+		for _, d := range free {
+			if taken[d] {
+				continue
+			}
+			minD := 1 << 30
+			for _, s := range selected {
+				if dd := domainDist(c, d, s); dd < minD {
+					minD = dd
+				}
+			}
+			if minD > bestMin {
+				bestMin = minD
+				best = d
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		taken[best] = true
+		selected = append(selected, best)
+	}
+
+	// Collect the candidate tiles of the selected domains.
+	var tiles []geom.TileID
+	for _, d := range selected {
+		for _, t := range c.Domain(d).Tiles {
+			tiles = append(tiles, t)
+		}
+	}
+
+	// Place High-activity tasks first, each on the free tile maximizing
+	// the minimum distance to already-placed High tasks; Low tasks then
+	// fill the remaining tiles in order.
+	p := &Placement{Domains: selected, TaskTile: make(map[appmodel.TaskID]geom.TileID, g.NumTasks())}
+	usedTile := map[geom.TileID]bool{}
+	var highPlaced []geom.TileID
+	for _, t := range g.Tasks {
+		if t.Activity != pdn.High {
+			continue
+		}
+		best := geom.TileID(-1)
+		bestMin := -1
+		for _, tile := range tiles {
+			if usedTile[tile] {
+				continue
+			}
+			if len(highPlaced) == 0 {
+				// Deterministic seed: the first High task takes the first
+				// free tile of the selected set.
+				best = tile
+				break
+			}
+			minD := 1 << 30
+			for _, hp := range highPlaced {
+				if d := c.Mesh.ManhattanDist(tile, hp); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestMin {
+				bestMin = minD
+				best = tile
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		usedTile[best] = true
+		highPlaced = append(highPlaced, best)
+		p.TaskTile[t.ID] = best
+	}
+	for _, t := range g.Tasks {
+		if t.Activity == pdn.High {
+			continue
+		}
+		placed := false
+		for _, tile := range tiles {
+			if !usedTile[tile] {
+				usedTile[tile] = true
+				p.TaskTile[t.ID] = tile
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return p, true
+}

@@ -1,0 +1,259 @@
+package mapping
+
+import (
+	"sort"
+
+	"parm/internal/appmodel"
+	"parm/internal/chip"
+	"parm/internal/geom"
+	"parm/internal/pdn"
+)
+
+// PARM is the paper's PSN-aware mapping heuristic (Algorithm 2): it walks
+// the APG edges in decreasing communication volume, bins the touched tasks
+// into High- and Low-activity lists, chunks each list into clusters of 4
+// (one power-supply domain each, so most domains hold tasks of a single
+// switching class), places clusters onto free domains minimizing the
+// volume-weighted hop distance between communicating clusters, and — inside
+// a mixed cluster — puts same-class tasks on adjacent tiles (Fig. 5).
+type PARM struct {
+	// IgnoreActivity disables the High/Low split and clusters purely by
+	// communication order — the ablation that isolates how much of PARM's
+	// PSN benefit comes from same-activity grouping (DESIGN.md §5).
+	IgnoreActivity bool
+}
+
+// Name implements Mapper.
+func (p PARM) Name() string {
+	if p.IgnoreActivity {
+		return "PARM-commOnly"
+	}
+	return "PARM"
+}
+
+// Map implements Mapper.
+func (p PARM) Map(c *chip.Chip, g *appmodel.APG) (*Placement, bool) {
+	var clusters []Cluster
+	if p.IgnoreActivity {
+		clusters = clustersByCommOnly(g)
+	} else {
+		clusters = Clusters(g)
+	}
+	free := c.FreeDomains()
+	if len(free) < len(clusters) {
+		return nil, false // Algorithm 2 line 10-11
+	}
+	return placeClusters(c, g, clusters, free)
+}
+
+// clustersByCommOnly chunks tasks into clusters of four purely in sorted
+// edge order, ignoring switching activity (the ablation baseline).
+func clustersByCommOnly(g *appmodel.APG) []Cluster {
+	inList := make([]bool, g.NumTasks())
+	var all []appmodel.TaskID
+	push := func(t appmodel.TaskID) {
+		if !inList[t] {
+			inList[t] = true
+			all = append(all, t)
+		}
+	}
+	for _, e := range g.EdgesBySortedVolume() {
+		push(e.Src)
+		push(e.Dst)
+	}
+	for i := range g.Tasks {
+		push(appmodel.TaskID(i))
+	}
+	var out []Cluster
+	for len(all) > 0 {
+		n := pdn.DomainTiles
+		if len(all) < n {
+			n = len(all)
+		}
+		out = append(out, Cluster{Tasks: append([]appmodel.TaskID(nil), all[:n]...), Mixed: true})
+		all = all[n:]
+	}
+	return out
+}
+
+// Cluster is a group of at most 4 tasks destined for one domain.
+type Cluster struct {
+	Tasks []appmodel.TaskID
+	// Mixed marks the single leftover cluster that may hold both classes.
+	Mixed bool
+}
+
+// Clusters performs the task clustering of Algorithm 2 (lines 3-9): tasks
+// enter the High or Low list in the order their heaviest edges appear, each
+// list is chunked into clusters of four, and the leftovers of both lists
+// form one final mixed cluster. Tasks untouched by any edge are appended to
+// their class list last (they have no communication to co-locate for).
+func Clusters(g *appmodel.APG) []Cluster {
+	inList := make([]bool, g.NumTasks())
+	var hi, lo []appmodel.TaskID
+	push := func(t appmodel.TaskID) {
+		if inList[t] {
+			return
+		}
+		inList[t] = true
+		if g.Tasks[t].Activity == pdn.High {
+			hi = append(hi, t)
+		} else {
+			lo = append(lo, t)
+		}
+	}
+	for _, e := range g.EdgesBySortedVolume() {
+		push(e.Src)
+		push(e.Dst)
+	}
+	for i := range g.Tasks {
+		push(appmodel.TaskID(i))
+	}
+
+	var out []Cluster
+	chunk := func(list []appmodel.TaskID) []appmodel.TaskID {
+		for len(list) >= pdn.DomainTiles {
+			cl := Cluster{Tasks: append([]appmodel.TaskID(nil), list[:pdn.DomainTiles]...)}
+			out = append(out, cl)
+			list = list[pdn.DomainTiles:]
+		}
+		return list
+	}
+	hiRest := chunk(hi)
+	loRest := chunk(lo)
+	rest := append(append([]appmodel.TaskID(nil), hiRest...), loRest...)
+	if len(rest) > 0 {
+		out = append(out, Cluster{Tasks: rest, Mixed: len(hiRest) > 0 && len(loRest) > 0})
+	}
+	return out
+}
+
+// interClusterVolume builds the symmetric communication volume matrix
+// between clusters.
+func interClusterVolume(g *appmodel.APG, clusters []Cluster) [][]float64 {
+	clusterOf := make([]int, g.NumTasks())
+	for ci, cl := range clusters {
+		for _, t := range cl.Tasks {
+			clusterOf[t] = ci
+		}
+	}
+	vol := make([][]float64, len(clusters))
+	for i := range vol {
+		vol[i] = make([]float64, len(clusters))
+	}
+	for _, e := range g.Edges {
+		a, b := clusterOf[e.Src], clusterOf[e.Dst]
+		if a == b {
+			continue
+		}
+		vol[a][b] += e.Volume
+		vol[b][a] += e.Volume
+	}
+	return vol
+}
+
+// placeClusters implements task-cluster-to-domain-mapping (Algorithm 2 line
+// 13): clusters are placed in decreasing order of external communication,
+// each onto the free domain minimizing volume-weighted distance to already
+// placed clusters (the first goes to the most central free domain so its
+// neighbors are available for the rest).
+func placeClusters(c *chip.Chip, g *appmodel.APG, clusters []Cluster, free []chip.DomainID) (*Placement, bool) {
+	vol := interClusterVolume(g, clusters)
+
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	ext := make([]float64, len(clusters))
+	for i := range clusters {
+		for j := range clusters {
+			ext[i] += vol[i][j]
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ext[order[a]] > ext[order[b]] })
+
+	used := make(map[chip.DomainID]bool)
+	clusterDomain := make([]chip.DomainID, len(clusters))
+	for rank, ci := range order {
+		best := chip.DomainID(-1)
+		bestScore := 0.0
+		for _, d := range free {
+			if used[d] {
+				continue
+			}
+			var score float64
+			if rank == 0 {
+				// Centrality among free domains: prefer a seed whose free
+				// neighborhood can host the rest nearby.
+				for _, o := range free {
+					if o != d && !used[o] {
+						score += float64(domainDist(c, d, o))
+					}
+				}
+			} else {
+				for pr := 0; pr < rank; pr++ {
+					pc := order[pr]
+					w := vol[ci][pc]
+					if w == 0 {
+						w = 1 // still prefer compact regions
+					}
+					score += w * float64(domainDist(c, d, clusterDomain[pc]))
+				}
+			}
+			if best < 0 || score < bestScore {
+				best = d
+				bestScore = score
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		used[best] = true
+		clusterDomain[ci] = best
+	}
+
+	p := &Placement{TaskTile: make(map[appmodel.TaskID]geom.TileID, g.NumTasks())}
+	for ci, cl := range clusters {
+		d := clusterDomain[ci]
+		p.Domains = append(p.Domains, d)
+		assignSlots(c, g, cl, d, p)
+	}
+	return p, true
+}
+
+// assignSlots places a cluster's tasks on the four tiles of its domain.
+// Same-class tasks go on adjacent slots (Fig. 5): slots (0,1) and (2,3)
+// are the adjacent pairs of the 2x2 block. Within a class, tasks keep
+// their list order (which is decreasing communication weight).
+func assignSlots(c *chip.Chip, g *appmodel.APG, cl Cluster, d chip.DomainID, p *Placement) {
+	dom := c.Domain(d)
+	var hi, lo []appmodel.TaskID
+	for _, t := range cl.Tasks {
+		if g.Tasks[t].Activity == pdn.High {
+			hi = append(hi, t)
+		} else {
+			lo = append(lo, t)
+		}
+	}
+	// Slot order keeps each class contiguous on an adjacent pair: High
+	// tasks fill 0,1 then 2,3; Low tasks fill from the other end 3,2 then
+	// 1,0. With 2+2 this yields High on (0,1) and Low on (2,3) — the
+	// same-level-adjacent arrangement of Fig. 5.
+	hiSlots := []int{0, 1, 2, 3}
+	loSlots := []int{3, 2, 1, 0}
+	usedSlot := [pdn.DomainTiles]bool{}
+	for i, t := range hi {
+		s := hiSlots[i]
+		usedSlot[s] = true
+		p.TaskTile[t] = dom.Tiles[s]
+	}
+	li := 0
+	for _, t := range lo {
+		for usedSlot[loSlots[li]] {
+			li++
+		}
+		s := loSlots[li]
+		usedSlot[s] = true
+		p.TaskTile[t] = dom.Tiles[s]
+	}
+}

@@ -1,0 +1,54 @@
+package noc
+
+import (
+	"testing"
+
+	"parm/internal/geom"
+)
+
+func benchFlows() []Flow {
+	var flows []Flow
+	for i := 0; i < 36; i++ {
+		src := geom.TileID((i * 7) % 60)
+		dst := geom.TileID((i*13 + 17) % 60)
+		if src == dst {
+			dst = (dst + 1) % 60
+		}
+		flows = append(flows, Flow{App: i % 4, Src: src, Dst: dst, Rate: 0.1})
+	}
+	return flows
+}
+
+// BenchmarkNetworkStep times one simulated cycle of a moderately loaded
+// 10x6 mesh — the inner loop of every NoC measurement window.
+func BenchmarkNetworkStep(b *testing.B) {
+	for _, alg := range []Algorithm{XY{}, PANR{}} {
+		b.Run(alg.Name(), func(b *testing.B) {
+			env := &Env{PSN: make([]float64, 60)}
+			n, err := NewNetwork(Config{}, alg, benchFlows(), env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.Run(2000) // reach steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureWindow times a full measurement window (the per-mapping-
+// event cost in the runtime engine).
+func BenchmarkMeasureWindow(b *testing.B) {
+	env := &Env{PSN: make([]float64, 60)}
+	for i := 0; i < b.N; i++ {
+		n, err := NewNetwork(Config{}, PANR{}, benchFlows(), env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Run(1500)
+		n.Measure(8000)
+	}
+}

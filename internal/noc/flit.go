@@ -1,0 +1,83 @@
+// Package noc is a cycle-level simulator of the 2D-mesh wormhole
+// network-on-chip that connects the CMP tiles (paper §3.1), together with
+// the four routing schemes evaluated in §5.2: deterministic XY, adaptive
+// west-first, ICON (NoC-activity-aware, core-agnostic, modeling ref [22]),
+// and the paper's PANR (PSN- and congestion-aware, Algorithm 3).
+//
+// Routers are input-buffered with credit-based flow control and single-VC
+// wormhole switching: a head flit acquires an output port, body flits
+// follow, and the tail flit releases it. Each output port forwards at most
+// one flit per cycle and links take one cycle. Traffic is injected by
+// flows — mapped APG edges — at configured demand rates; the simulator
+// measures per-flow latency and throughput and per-router switching
+// activity, which feed the execution-time model and the PDN solver.
+package noc
+
+import "parm/internal/geom"
+
+// FlitKind distinguishes the positions of a flit inside a packet.
+type FlitKind int
+
+// Flit kinds. Single-flit packets use KindHeadTail.
+const (
+	KindHead FlitKind = iota
+	KindBody
+	KindTail
+	KindHeadTail
+)
+
+// flit is one flow-control unit in flight.
+type flit struct {
+	kind   FlitKind
+	flow   int // index into the simulation's flow table
+	packet int // packet sequence number within the flow
+	dst    geom.TileID
+	outDir geom.Dir // assigned output at current router (head decides)
+	born   int      // cycle the packet's head was injected
+	routed bool     // head flit: output direction already computed
+}
+
+// Flow is one traffic stream: the mapped image of an APG edge. Src and Dst
+// are tiles; Rate is the demand in flits per cycle (may exceed 1 only in
+// aggregate across flows; a single flow is capped at 1 flit/cycle by the
+// injection port).
+type Flow struct {
+	// App is the owning application ID (used to aggregate app latency).
+	App int
+	// Src and Dst are the mapped source and destination tiles.
+	Src, Dst geom.TileID
+	// Rate is the injection demand in flits per cycle.
+	Rate float64
+}
+
+// FlowStats reports what one flow achieved during a measurement window.
+type FlowStats struct {
+	// InjectedFlits and DeliveredFlits count flits entering the source
+	// router and leaving at the destination.
+	InjectedFlits  int
+	DeliveredFlits int
+	// DeliveredPackets counts fully ejected packets.
+	DeliveredPackets int
+	// TotalPacketLatency sums, over delivered packets, the cycles from
+	// head injection to tail ejection.
+	TotalPacketLatency int
+	// StalledCycles counts cycles injection was blocked by backpressure.
+	StalledCycles int
+}
+
+// AvgPacketLatency returns the mean packet latency in cycles, or 0 when
+// nothing was delivered.
+func (s FlowStats) AvgPacketLatency() float64 {
+	if s.DeliveredPackets == 0 {
+		return 0
+	}
+	return float64(s.TotalPacketLatency) / float64(s.DeliveredPackets)
+}
+
+// Throughput returns delivered flits per cycle over a window of n cycles.
+func (s FlowStats) Throughput(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(s.DeliveredFlits) / float64(n)
+}

@@ -1,0 +1,440 @@
+package noc
+
+import (
+	"fmt"
+
+	"parm/internal/geom"
+)
+
+// Config parameterizes the NoC simulation.
+type Config struct {
+	// Width and Height are the mesh dimensions. Zero selects 10x6.
+	Width, Height int
+	// BufferFlits is the input buffer capacity per port. Zero selects 8.
+	BufferFlits int
+	// FlitsPerPacket is the packet size. Zero selects 5 (head + 4 payload).
+	FlitsPerPacket int
+	// StagedPackets bounds the per-flow source queue; when full, demand is
+	// counted as stalled cycles instead of growing without bound. Zero
+	// selects 4.
+	StagedPackets int
+	// OccupancyThreshold is PANR's buffer-occupancy threshold B as a
+	// fraction; zero selects 0.5 (paper §5.1).
+	OccupancyThreshold float64
+	// RateEWMA is the smoothing constant of the incoming-data-rate
+	// estimator in (0,1]; zero selects 0.02.
+	RateEWMA float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 && c.Height == 0 {
+		c.Width, c.Height = 10, 6
+	}
+	if c.BufferFlits == 0 {
+		c.BufferFlits = 8
+	}
+	if c.FlitsPerPacket == 0 {
+		c.FlitsPerPacket = 5
+	}
+	if c.StagedPackets == 0 {
+		c.StagedPackets = 4
+	}
+	if c.OccupancyThreshold == 0 {
+		c.OccupancyThreshold = 0.5
+	}
+	if c.RateEWMA == 0 {
+		c.RateEWMA = 0.05
+	}
+	return c
+}
+
+// Env is the cross-layer state adaptive routing reads: the latest quantized
+// PSN sensor reading per tile (paper Algorithm 3 input). A nil or short
+// slice reads as zero noise.
+type Env struct {
+	PSN []float64
+}
+
+// psnAt returns the sensor reading for tile t, or 0 when unavailable.
+func (e *Env) psnAt(t geom.TileID) float64 {
+	if e == nil || int(t) >= len(e.PSN) || t < 0 {
+		return 0
+	}
+	return e.PSN[t]
+}
+
+// Network is one NoC simulation instance.
+type Network struct {
+	cfg     Config
+	mesh    geom.Mesh
+	alg     Algorithm
+	env     *Env
+	routers []router
+	flows   []Flow
+	stats   []FlowStats
+
+	// per-flow injection state
+	acc     []float64 // fractional flit credit accumulated from Rate
+	staged  []int     // whole packets waiting at the source NIC
+	nextSeq []int     // next packet sequence number
+	// partial[t] tracks, per tile, the flow whose packet is mid-injection
+	// and how many flits remain, so packets enter the local port contiguously.
+	partialFlow  []int
+	partialLeft  []int
+	injectRR     []int // round-robin pointer over flows per source tile
+	flowsBySrc   [][]int
+	packetStarts map[[2]int]int // (flow, seq) -> injection cycle of head
+
+	// per-cycle scratch, reused to avoid allocation in the hot loop
+	arrivalScratch []pendingArrival
+	inFlight       [][geom.NumPorts]int
+
+	cycle int
+}
+
+// NewNetwork builds a network for the given routing algorithm, flow set,
+// and environment. It returns an error when a flow references a tile
+// outside the mesh or has a negative rate.
+func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if alg == nil {
+		return nil, fmt.Errorf("noc: nil routing algorithm")
+	}
+	mesh := geom.NewMesh(cfg.Width, cfg.Height)
+	n := &Network{
+		cfg:          cfg,
+		mesh:         mesh,
+		alg:          alg,
+		env:          env,
+		routers:      make([]router, mesh.NumTiles()),
+		flows:        flows,
+		stats:        make([]FlowStats, len(flows)),
+		acc:          make([]float64, len(flows)),
+		staged:       make([]int, len(flows)),
+		nextSeq:      make([]int, len(flows)),
+		partialFlow:  make([]int, mesh.NumTiles()),
+		partialLeft:  make([]int, mesh.NumTiles()),
+		injectRR:     make([]int, mesh.NumTiles()),
+		flowsBySrc:   make([][]int, mesh.NumTiles()),
+		packetStarts: make(map[[2]int]int),
+	}
+	for i := range n.routers {
+		n.routers[i].tile = geom.TileID(i)
+		for p := range n.routers[i].owner {
+			n.routers[i].owner[p] = noOwner
+		}
+		n.partialFlow[i] = -1
+	}
+	for i, f := range flows {
+		if !mesh.ValidTile(f.Src) || !mesh.ValidTile(f.Dst) {
+			return nil, fmt.Errorf("noc: flow %d endpoints (%d,%d) outside mesh", i, f.Src, f.Dst)
+		}
+		if f.Rate < 0 {
+			return nil, fmt.Errorf("noc: flow %d has negative rate %g", i, f.Rate)
+		}
+		if f.Src != f.Dst {
+			n.flowsBySrc[f.Src] = append(n.flowsBySrc[f.Src], i)
+		}
+	}
+	return n, nil
+}
+
+// Mesh returns the mesh geometry.
+func (n *Network) Mesh() geom.Mesh { return n.mesh }
+
+// IncomingRate returns the EWMA incoming flit rate of tile t's router.
+func (n *Network) IncomingRate(t geom.TileID) float64 {
+	return n.routers[t].incomingRate
+}
+
+// SensorPSN returns the environment's PSN reading at tile t.
+func (n *Network) SensorPSN(t geom.TileID) float64 { return n.env.psnAt(t) }
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.inject()
+	n.routeCompute()
+	arrivals := n.switchTraversal()
+	n.applyArrivals(arrivals)
+	n.arrivalScratch = arrivals[:0]
+	n.updateRates()
+	n.cycle++
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// inject moves demand into source NICs and NIC flits into local input ports.
+func (n *Network) inject() {
+	// Accrue demand and stage whole packets.
+	for i := range n.flows {
+		if n.flows[i].Src == n.flows[i].Dst {
+			continue // local communication bypasses the NoC
+		}
+		n.acc[i] += n.flows[i].Rate
+		for n.acc[i] >= float64(n.cfg.FlitsPerPacket) {
+			if n.staged[i] >= n.cfg.StagedPackets {
+				n.stats[i].StalledCycles++
+				// Drop the accrued packet's credit: the source is
+				// backpressured and the demand is deferred.
+				n.acc[i] -= float64(n.cfg.FlitsPerPacket)
+				break
+			}
+			n.acc[i] -= float64(n.cfg.FlitsPerPacket)
+			n.staged[i]++
+		}
+	}
+	// One flit per cycle enters each tile's local input port.
+	for t := range n.routers {
+		r := &n.routers[t]
+		lp := dirIndex(geom.Local)
+		if len(r.inputs[lp]) >= n.cfg.BufferFlits {
+			continue
+		}
+		fi := n.pickInjection(t)
+		if fi < 0 {
+			continue
+		}
+		k := n.flitToInject(t, fi)
+		r.inputs[lp] = append(r.inputs[lp], k)
+		r.received++
+		n.stats[fi].InjectedFlits++
+	}
+}
+
+// pickInjection selects which flow injects at tile t this cycle: the
+// in-progress packet if any, else round-robin over staged flows.
+func (n *Network) pickInjection(t int) int {
+	if n.partialFlow[t] >= 0 {
+		return n.partialFlow[t]
+	}
+	flows := n.flowsBySrc[t]
+	if len(flows) == 0 {
+		return -1
+	}
+	for k := 0; k < len(flows); k++ {
+		fi := flows[(n.injectRR[t]+k)%len(flows)]
+		if n.staged[fi] > 0 {
+			n.injectRR[t] = (n.injectRR[t] + k + 1) % len(flows)
+			return fi
+		}
+	}
+	return -1
+}
+
+// flitToInject produces the next flit of flow fi's current packet at tile t
+// and updates the partial-packet bookkeeping.
+func (n *Network) flitToInject(t, fi int) flit {
+	fpp := n.cfg.FlitsPerPacket
+	if n.partialFlow[t] < 0 {
+		// Start a new packet.
+		seq := n.nextSeq[fi]
+		n.nextSeq[fi]++
+		n.staged[fi]--
+		n.packetStarts[[2]int{fi, seq}] = n.cycle
+		if fpp == 1 {
+			return flit{kind: KindHeadTail, flow: fi, packet: seq, dst: n.flows[fi].Dst, born: n.cycle}
+		}
+		n.partialFlow[t] = fi
+		n.partialLeft[t] = fpp - 1
+		return flit{kind: KindHead, flow: fi, packet: seq, dst: n.flows[fi].Dst, born: n.cycle}
+	}
+	seq := n.nextSeq[fi] - 1
+	n.partialLeft[t]--
+	kind := KindBody
+	if n.partialLeft[t] == 0 {
+		kind = KindTail
+		n.partialFlow[t] = -1
+	}
+	return flit{kind: kind, flow: fi, packet: seq, dst: n.flows[fi].Dst, born: n.cycle}
+}
+
+// routeCompute assigns output directions to unrouted head flits at the
+// front of input buffers.
+func (n *Network) routeCompute() {
+	for t := range n.routers {
+		r := &n.routers[t]
+		for p := range r.inputs {
+			if len(r.inputs[p]) == 0 {
+				continue
+			}
+			f := &r.inputs[p][0]
+			if f.routed || (f.kind != KindHead && f.kind != KindHeadTail) {
+				continue
+			}
+			ctx := RouteCtx{
+				Net:            n,
+				At:             geom.TileID(t),
+				Dst:            f.dst,
+				InDir:          indexDir[p],
+				InputOccupancy: r.occupancy(p, n.cfg.BufferFlits),
+			}
+			f.outDir = n.alg.Route(ctx)
+			f.routed = true
+		}
+	}
+}
+
+// switchTraversal performs output arbitration and moves at most one flit
+// per output port, collecting link crossings to apply after the sweep.
+func (n *Network) switchTraversal() []pendingArrival {
+	arrivals := n.arrivalScratch[:0]
+	if n.inFlight == nil {
+		n.inFlight = make([][geom.NumPorts]int, len(n.routers))
+	}
+	for i := range n.inFlight {
+		n.inFlight[i] = [geom.NumPorts]int{}
+	}
+	for t := range n.routers {
+		r := &n.routers[t]
+		// Output arbitration: free outputs pick a requesting input.
+		for out := 0; out < geom.NumPorts; out++ {
+			if r.owner[out] != noOwner {
+				continue
+			}
+			for k := 0; k < geom.NumPorts; k++ {
+				in := (r.rrPtr[out] + k) % geom.NumPorts
+				if len(r.inputs[in]) == 0 {
+					continue
+				}
+				f := r.inputs[in][0]
+				if !f.routed || dirIndex(f.outDir) != out {
+					continue
+				}
+				r.owner[out] = in
+				r.rrPtr[out] = (in + 1) % geom.NumPorts
+				break
+			}
+		}
+		// Traversal: each owned output forwards its input's front flit.
+		for out := 0; out < geom.NumPorts; out++ {
+			in := r.owner[out]
+			if in == noOwner || len(r.inputs[in]) == 0 {
+				continue
+			}
+			f := r.inputs[in][0]
+			if out == dirIndex(geom.Local) {
+				// Ejection: infinite sink.
+				r.inputs[in] = r.inputs[in][1:]
+				r.forwarded++
+				n.eject(f)
+				if f.kind == KindTail || f.kind == KindHeadTail {
+					r.owner[out] = noOwner
+				}
+				continue
+			}
+			dir := indexDir[out]
+			next, ok := n.mesh.Neighbor(geom.TileID(t), dir)
+			if !ok {
+				// Misrouting off-mesh cannot happen with a sane algorithm;
+				// drop the channel to avoid wedging the port forever.
+				r.owner[out] = noOwner
+				continue
+			}
+			dstPort := dirIndex(dir.Opposite())
+			nr := &n.routers[next]
+			if len(nr.inputs[dstPort])+n.inFlight[next][dstPort] >= n.cfg.BufferFlits {
+				continue // no downstream credit
+			}
+			n.inFlight[next][dstPort]++
+			r.inputs[in] = r.inputs[in][1:]
+			r.forwarded++
+			// Body/tail flits follow the worm without route computation.
+			moved := f
+			moved.routed = false
+			moved.outDir = geom.DirInvalid
+			arrivals = append(arrivals, pendingArrival{to: next, port: dstPort, f: moved})
+			if f.kind == KindTail || f.kind == KindHeadTail {
+				r.owner[out] = noOwner
+			}
+		}
+	}
+	return arrivals
+}
+
+// eject records delivery statistics for a flit leaving the network.
+func (n *Network) eject(f flit) {
+	st := &n.stats[f.flow]
+	st.DeliveredFlits++
+	if f.kind == KindTail || f.kind == KindHeadTail {
+		st.DeliveredPackets++
+		key := [2]int{f.flow, f.packet}
+		if born, ok := n.packetStarts[key]; ok {
+			st.TotalPacketLatency += n.cycle - born + 1
+			delete(n.packetStarts, key)
+		}
+	}
+}
+
+// applyArrivals lands link crossings into downstream input buffers.
+func (n *Network) applyArrivals(arrivals []pendingArrival) {
+	for _, a := range arrivals {
+		r := &n.routers[a.to]
+		r.inputs[a.port] = append(r.inputs[a.port], a.f)
+		r.received++
+	}
+}
+
+// updateRates advances the per-router incoming-rate EWMAs.
+func (n *Network) updateRates() {
+	alpha := n.cfg.RateEWMA
+	for t := range n.routers {
+		r := &n.routers[t]
+		// received accumulates within the cycle; convert to a per-cycle
+		// sample by diffing against the running total.
+		sample := float64(r.received - int(r.lastReceived))
+		r.incomingRate = (1-alpha)*r.incomingRate + alpha*sample
+		r.lastReceived = int64(r.received)
+	}
+}
+
+// Result summarizes a measurement window.
+type Result struct {
+	// Cycles is the window length.
+	Cycles int
+	// Flows holds per-flow statistics, parallel to the input flow slice.
+	Flows []FlowStats
+	// RouterForwarded counts crossbar traversals per tile.
+	RouterForwarded []int
+	// RouterUtil is forwarded flits per cycle per port, in [0,1].
+	RouterUtil []float64
+}
+
+// Measure runs the network for the given number of cycles from its current
+// state and returns aggregate statistics.
+func (n *Network) Measure(cycles int) *Result {
+	startForwarded := make([]int, len(n.routers))
+	for i := range n.routers {
+		startForwarded[i] = n.routers[i].forwarded
+	}
+	startStats := make([]FlowStats, len(n.stats))
+	copy(startStats, n.stats)
+
+	n.Run(cycles)
+
+	res := &Result{
+		Cycles:          cycles,
+		Flows:           make([]FlowStats, len(n.stats)),
+		RouterForwarded: make([]int, len(n.routers)),
+		RouterUtil:      make([]float64, len(n.routers)),
+	}
+	for i := range n.stats {
+		res.Flows[i] = FlowStats{
+			InjectedFlits:      n.stats[i].InjectedFlits - startStats[i].InjectedFlits,
+			DeliveredFlits:     n.stats[i].DeliveredFlits - startStats[i].DeliveredFlits,
+			DeliveredPackets:   n.stats[i].DeliveredPackets - startStats[i].DeliveredPackets,
+			TotalPacketLatency: n.stats[i].TotalPacketLatency - startStats[i].TotalPacketLatency,
+			StalledCycles:      n.stats[i].StalledCycles - startStats[i].StalledCycles,
+		}
+	}
+	for i := range n.routers {
+		fw := n.routers[i].forwarded - startForwarded[i]
+		res.RouterForwarded[i] = fw
+		res.RouterUtil[i] = float64(fw) / float64(cycles) / float64(geom.NumPorts)
+	}
+	return res
+}

@@ -1,0 +1,276 @@
+package noc
+
+import (
+	"testing"
+
+	"parm/internal/geom"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(Config{}, nil, nil, &Env{}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	if _, err := NewNetwork(Config{}, XY{}, []Flow{{Src: -1, Dst: 5, Rate: 0.1}}, &Env{}); err == nil {
+		t.Error("negative source tile accepted")
+	}
+	if _, err := NewNetwork(Config{}, XY{}, []Flow{{Src: 0, Dst: 600, Rate: 0.1}}, &Env{}); err == nil {
+		t.Error("out-of-mesh destination accepted")
+	}
+	if _, err := NewNetwork(Config{}, XY{}, []Flow{{Src: 0, Dst: 5, Rate: -1}}, &Env{}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// A single packet over XY arrives with the zero-load latency: hops for the
+// head plus serialization of the remaining flits, plus injection/ejection.
+func TestZeroLoadLatency(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 9, Rate: 0.002}} // sparse packets
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Measure(5000)
+	fs := res.Flows[0]
+	if fs.DeliveredPackets == 0 {
+		t.Fatal("nothing delivered")
+	}
+	lat := fs.AvgPacketLatency()
+	// 9 hops + 5 flits serialization + ~2 injection/ejection overhead.
+	if lat < 13 || lat > 25 {
+		t.Errorf("zero-load latency = %g cycles, want ~14-20", lat)
+	}
+}
+
+// Flit conservation: everything injected is eventually delivered once the
+// sources go quiet.
+func TestFlitConservation(t *testing.T) {
+	flows := []Flow{
+		{Src: 0, Dst: 59, Rate: 0.2},
+		{Src: 59, Dst: 0, Rate: 0.2},
+		{Src: 12, Dst: 47, Rate: 0.3},
+	}
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(4000)
+	// Stop injection and drain.
+	for i := range n.flows {
+		n.flows[i].Rate = 0
+	}
+	n.Run(2000)
+	for i, fs := range n.stats {
+		if fs.DeliveredFlits != fs.InjectedFlits {
+			t.Errorf("flow %d: injected %d, delivered %d", i, fs.InjectedFlits, fs.DeliveredFlits)
+		}
+		if fs.DeliveredFlits%n.cfg.FlitsPerPacket != 0 {
+			t.Errorf("flow %d: partial packet delivered", i)
+		}
+	}
+}
+
+// Input buffers never exceed their configured capacity.
+func TestBufferBound(t *testing.T) {
+	flows := []Flow{
+		{Src: 0, Dst: 59, Rate: 0.9},
+		{Src: 10, Dst: 59, Rate: 0.9},
+		{Src: 20, Dst: 59, Rate: 0.9},
+		{Src: 50, Dst: 9, Rate: 0.9},
+	}
+	cfg := Config{BufferFlits: 4}
+	n, err := NewNetwork(cfg, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3000; c++ {
+		n.Step()
+		for r := range n.routers {
+			for p := range n.routers[r].inputs {
+				if got := len(n.routers[r].inputs[p]); got > 4 {
+					t.Fatalf("cycle %d: router %d port %d holds %d flits (cap 4)", c, r, p, got)
+				}
+			}
+		}
+	}
+}
+
+// Wormhole integrity: packets of one flow eject in order and contiguously
+// (monotone packet sequence at the destination).
+func TestPacketOrdering(t *testing.T) {
+	flows := []Flow{{Src: 3, Dst: 56, Rate: 0.4}}
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3000)
+	fs := n.stats[0]
+	// Every delivered packet had its start recorded and removed exactly
+	// once; out-of-order or duplicated ejection would corrupt latency
+	// accounting into negatives.
+	if fs.DeliveredPackets <= 0 || fs.TotalPacketLatency <= 0 {
+		t.Fatalf("stats corrupt: %+v", fs)
+	}
+	if avg := fs.AvgPacketLatency(); avg < 10 {
+		t.Errorf("impossibly low latency %g", avg)
+	}
+}
+
+// Deterministic: identical runs produce identical statistics.
+func TestNetworkDeterministic(t *testing.T) {
+	mk := func() *Result {
+		flows := []Flow{
+			{Src: 0, Dst: 59, Rate: 0.5},
+			{Src: 9, Dst: 50, Rate: 0.5},
+			{Src: 30, Dst: 35, Rate: 0.7},
+		}
+		env := &Env{PSN: make([]float64, 60)}
+		n, err := NewNetwork(Config{}, PANR{}, flows, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.Measure(4000)
+	}
+	r1, r2 := mk(), mk()
+	for i := range r1.Flows {
+		if r1.Flows[i] != r2.Flows[i] {
+			t.Fatalf("flow %d stats differ between identical runs", i)
+		}
+	}
+	for i := range r1.RouterForwarded {
+		if r1.RouterForwarded[i] != r2.RouterForwarded[i] {
+			t.Fatalf("router %d activity differs between identical runs", i)
+		}
+	}
+}
+
+// All four algorithms make progress under sustained heavy load (deadlock
+// freedom smoke test): delivered flits keep growing.
+func TestNoDeadlockUnderLoad(t *testing.T) {
+	var flows []Flow
+	for i := 0; i < 30; i++ {
+		flows = append(flows, Flow{
+			Src:  geom.TileID((i * 17) % 60),
+			Dst:  geom.TileID((i*23 + 31) % 60),
+			Rate: 0.6,
+		})
+	}
+	for i := range flows {
+		if flows[i].Src == flows[i].Dst {
+			flows[i].Dst = (flows[i].Dst + 1) % 60
+		}
+	}
+	env := &Env{PSN: make([]float64, 60)}
+	for _, alg := range []Algorithm{XY{}, WestFirst{}, ICON{}, PANR{}} {
+		n, err := NewNetwork(Config{BufferFlits: 4}, alg, flows, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(2000)
+		first := n.Measure(2000)
+		second := n.Measure(2000)
+		d1, d2 := 0, 0
+		for i := range first.Flows {
+			d1 += first.Flows[i].DeliveredFlits
+			d2 += second.Flows[i].DeliveredFlits
+		}
+		if d1 == 0 || d2 == 0 {
+			t.Errorf("%s: network wedged under load (%d, %d delivered)", alg.Name(), d1, d2)
+		}
+	}
+}
+
+// Local (src == dst) flows bypass the network entirely.
+func TestLocalFlowBypassesNoC(t *testing.T) {
+	flows := []Flow{{Src: 7, Dst: 7, Rate: 0.9}}
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Measure(1000)
+	if res.Flows[0].InjectedFlits != 0 || res.Flows[0].DeliveredFlits != 0 {
+		t.Errorf("local flow touched the network: %+v", res.Flows[0])
+	}
+}
+
+// Backpressure: with more demand than ejection bandwidth, stalls are
+// recorded and throughput saturates near 1 flit/cycle at the sink.
+func TestSaturationAtHotspot(t *testing.T) {
+	flows := []Flow{
+		{Src: 24, Dst: 25, Rate: 0.8},
+		{Src: 26, Dst: 25, Rate: 0.8},
+		{Src: 35, Dst: 25, Rate: 0.8},
+	}
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1000)
+	res := n.Measure(6000)
+	total := 0
+	stalls := 0
+	for _, fs := range res.Flows {
+		total += fs.DeliveredFlits
+		stalls += fs.StalledCycles
+	}
+	thr := float64(total) / float64(res.Cycles)
+	if thr > 1.05 {
+		t.Errorf("sink throughput %g exceeds ejection bandwidth", thr)
+	}
+	if thr < 0.8 {
+		t.Errorf("sink throughput %g far below saturation", thr)
+	}
+	if stalls == 0 {
+		t.Error("oversubscribed sources recorded no stalls")
+	}
+}
+
+// Router utilization is normalized per port and bounded by 1.
+func TestRouterUtilBounds(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.9}, {Src: 9, Dst: 50, Rate: 0.9}}
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Measure(3000)
+	for i, u := range res.RouterUtil {
+		if u < 0 || u > 1 {
+			t.Errorf("router %d util %g out of [0,1]", i, u)
+		}
+	}
+	if res.RouterUtil[0] == 0 {
+		t.Error("source router shows no activity")
+	}
+}
+
+func TestFlowStatsHelpers(t *testing.T) {
+	fs := FlowStats{DeliveredFlits: 100, DeliveredPackets: 20, TotalPacketLatency: 400}
+	if fs.AvgPacketLatency() != 20 {
+		t.Errorf("AvgPacketLatency = %g", fs.AvgPacketLatency())
+	}
+	if fs.Throughput(1000) != 0.1 {
+		t.Errorf("Throughput = %g", fs.Throughput(1000))
+	}
+	var empty FlowStats
+	if empty.AvgPacketLatency() != 0 || empty.Throughput(0) != 0 {
+		t.Error("empty stats not zero")
+	}
+}
+
+// Incoming-rate EWMA responds to traffic and decays when it stops.
+func TestIncomingRateEWMA(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 9, Rate: 0.8}}
+	n, err := NewNetwork(Config{}, XY{}, flows, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2000)
+	mid := n.IncomingRate(5)
+	if mid <= 0 {
+		t.Fatal("no measured rate on the path")
+	}
+	n.flows[0].Rate = 0
+	n.Run(2000)
+	if after := n.IncomingRate(5); after > mid/4 {
+		t.Errorf("rate EWMA did not decay: %g -> %g", mid, after)
+	}
+}

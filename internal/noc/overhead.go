@@ -1,0 +1,58 @@
+package noc
+
+// Overhead quantifies the hardware cost of PANR's adaptive machinery over a
+// baseline wormhole router, reproducing the analytic accounting of paper
+// §4.4 at the 7nm node: registers holding the neighbors' noise and traffic
+// levels, the wires that carry them, and two 64-bit comparator trees that
+// find the minimum PSN and minimum incoming rate among permitted directions.
+type Overhead struct {
+	// RegisterBits is the added storage: two values (PSN, rate) per
+	// neighbor direction.
+	RegisterBits int
+	// ComparatorCount is the number of 64-bit comparators per router.
+	ComparatorCount int
+	// PowerMilliwatts is the added router power at 1 GHz.
+	PowerMilliwatts float64
+	// PowerPercent is that power relative to the baseline router.
+	PowerPercent float64
+	// AreaUm2 is the added area in square micrometers.
+	AreaUm2 float64
+	// AreaPercent is that area relative to the baseline router (~71300 µm²
+	// at 7nm, paper §4.4).
+	AreaPercent float64
+	// SensorNetworkAreaUm2 is the area of the digital PSN sensor network
+	// per tile (paper: ~413 µm², negligible beside a ~4 mm² core).
+	SensorNetworkAreaUm2 float64
+	// HopSelectionCycles is the latency of the hop-selection step; it is
+	// masked by running in parallel with route computation, so the
+	// effective added latency is zero.
+	HopSelectionCycles int
+}
+
+// Baseline router figures at 7nm from §4.4.
+const (
+	BaselineRouterAreaUm2    = 71300.0
+	BaselineRouterPowerMw7nm = 33.0 // ~1 mW is ~3% of the baseline router
+	CoreAreaUm2              = 4.0e6
+)
+
+// PANROverhead returns the 7nm overhead accounting of §4.4.
+func PANROverhead() Overhead {
+	const (
+		regBitsPerValue = 64
+		valuesPerDir    = 2 // PSN level + incoming data rate
+		neighborDirs    = 4
+	)
+	powerMw := 1.0
+	areaUm2 := 115.0
+	return Overhead{
+		RegisterBits:         regBitsPerValue * valuesPerDir * neighborDirs,
+		ComparatorCount:      2,
+		PowerMilliwatts:      powerMw,
+		PowerPercent:         powerMw / BaselineRouterPowerMw7nm * 100,
+		AreaUm2:              areaUm2,
+		AreaPercent:          areaUm2 / BaselineRouterAreaUm2 * 100,
+		SensorNetworkAreaUm2: 413,
+		HopSelectionCycles:   1,
+	}
+}

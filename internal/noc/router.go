@@ -1,0 +1,65 @@
+package noc
+
+import "parm/internal/geom"
+
+// noOwner marks an output port with no wormhole channel allocated.
+const noOwner = -1
+
+// port indices: cardinal directions map via dirIndex; Local is index 4.
+func dirIndex(d geom.Dir) int {
+	switch d {
+	case geom.East:
+		return 0
+	case geom.West:
+		return 1
+	case geom.North:
+		return 2
+	case geom.South:
+		return 3
+	case geom.Local:
+		return 4
+	default:
+		return -1
+	}
+}
+
+var indexDir = [geom.NumPorts]geom.Dir{geom.East, geom.West, geom.North, geom.South, geom.Local}
+
+// router is one 5-port input-buffered wormhole router.
+type router struct {
+	tile geom.TileID
+
+	// inputs[p] is the FIFO of flits waiting at input port p.
+	inputs [geom.NumPorts][]flit
+	// owner[p] is the input port that holds the wormhole channel to output
+	// port p, or noOwner.
+	owner [geom.NumPorts]int
+	// rrPtr[p] is the round-robin arbitration pointer of output port p.
+	rrPtr [geom.NumPorts]int
+
+	// forwarded counts flits that traversed the crossbar (all outputs).
+	forwarded int
+	// received counts flits written into any input buffer; lastReceived is
+	// the previous cycle's total, for per-cycle rate sampling.
+	received     int
+	lastReceived int64
+	// incomingRate is an exponentially weighted moving average of received
+	// flits per cycle; adaptive routing reads it from neighbors.
+	incomingRate float64
+}
+
+// occupancy returns the fill fraction of input port p's buffer.
+func (r *router) occupancy(p int, capacity int) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	return float64(len(r.inputs[p])) / float64(capacity)
+}
+
+// pendingArrival records a flit crossing a link this cycle, applied after
+// all routers have been stepped so a flit moves at most one hop per cycle.
+type pendingArrival struct {
+	to   geom.TileID
+	port int
+	f    flit
+}

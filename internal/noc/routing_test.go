@@ -1,0 +1,230 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parm/internal/geom"
+)
+
+func mkNet(t *testing.T, alg Algorithm, flows []Flow, env *Env) *Network {
+	t.Helper()
+	n, err := NewNetwork(Config{}, alg, flows, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"XY", "WestFirst", "ICON", "PANR"} {
+		alg, ok := AlgorithmByName(name)
+		if !ok || alg.Name() != name {
+			t.Errorf("AlgorithmByName(%q) = %v, %v", name, alg, ok)
+		}
+	}
+	if _, ok := AlgorithmByName("bogus"); ok {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestDirIndexRoundTrip(t *testing.T) {
+	for i, d := range indexDir {
+		if dirIndex(d) != i {
+			t.Errorf("dirIndex(indexDir[%d]) = %d", i, dirIndex(d))
+		}
+	}
+	if dirIndex(geom.DirInvalid) != -1 {
+		t.Error("invalid direction has a port index")
+	}
+}
+
+// West-first turn model invariants: a packet needing to travel west goes
+// west only; otherwise every permitted direction is productive.
+func TestWestFirstPermittedProperties(t *testing.T) {
+	m := geom.NewMesh(10, 6)
+	f := func(a, b uint8) bool {
+		src := geom.TileID(int(a) % 60)
+		dst := geom.TileID(int(b) % 60)
+		dirs := westFirstPermitted(m, src, dst)
+		cs, cd := m.CoordOf(src), m.CoordOf(dst)
+		if src == dst {
+			return len(dirs) == 0
+		}
+		if cd.X < cs.X {
+			return len(dirs) == 1 && dirs[0] == geom.West
+		}
+		if len(dirs) == 0 {
+			return false
+		}
+		d0 := m.ManhattanDist(src, dst)
+		for _, d := range dirs {
+			n, ok := m.Neighbor(src, d)
+			if !ok || m.ManhattanDist(n, dst) != d0-1 {
+				return false
+			}
+			if d == geom.West {
+				return false // west is never adaptive
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every algorithm must return a productive (distance-reducing) direction,
+// or Local at the destination — this is what guarantees minimal paths and,
+// with the turn model, deadlock freedom.
+func TestAllAlgorithmsProductive(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.1}}
+	env := &Env{PSN: make([]float64, 60)}
+	for i := range env.PSN {
+		env.PSN[i] = float64((i*13)%7) * 0.01
+	}
+	for _, alg := range []Algorithm{XY{}, WestFirst{}, ICON{}, PANR{}} {
+		n := mkNet(t, alg, flows, env)
+		m := n.Mesh()
+		for src := geom.TileID(0); int(src) < 60; src++ {
+			for dst := geom.TileID(0); int(dst) < 60; dst++ {
+				ctx := RouteCtx{Net: n, At: src, Dst: dst, InDir: geom.Local}
+				got := alg.Route(ctx)
+				if src == dst {
+					if got != geom.Local {
+						t.Fatalf("%s: Route(%d,%d) = %v, want Local", alg.Name(), src, dst, got)
+					}
+					continue
+				}
+				nb, ok := m.Neighbor(src, got)
+				if !ok {
+					t.Fatalf("%s: Route(%d,%d) = %v leaves the mesh", alg.Name(), src, dst, got)
+				}
+				if m.ManhattanDist(nb, dst) != m.ManhattanDist(src, dst)-1 {
+					t.Fatalf("%s: Route(%d,%d) = %v not productive", alg.Name(), src, dst, got)
+				}
+			}
+		}
+	}
+}
+
+// XY routes X hops before Y hops.
+func TestXYDimensionOrder(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.1}}
+	n := mkNet(t, XY{}, flows, &Env{})
+	// From (0,0) to (9,5): east first.
+	if d := (XY{}).Route(RouteCtx{Net: n, At: 0, Dst: 59}); d != geom.East {
+		t.Errorf("XY first hop = %v, want E", d)
+	}
+	// From (9,0) to (9,5): north.
+	if d := (XY{}).Route(RouteCtx{Net: n, At: 9, Dst: 59}); d != geom.North {
+		t.Errorf("XY aligned hop = %v, want N", d)
+	}
+	// Westward: west first.
+	if d := (XY{}).Route(RouteCtx{Net: n, At: 59, Dst: 0}); d != geom.West {
+		t.Errorf("XY west hop = %v, want W", d)
+	}
+}
+
+// PANR prefers low-PSN neighbors when uncongested; the deviation requires
+// beating the default by a full sensor step.
+func TestPANRPrefersQuietTiles(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.01}}
+	env := &Env{PSN: make([]float64, 60)}
+	// From tile 0, permitted dirs to 59 are E (tile 1) and N (tile 10).
+	env.PSN[1] = 0.08 // east neighbor noisy
+	env.PSN[10] = 0.0 // north neighbor quiet
+	n := mkNet(t, PANR{}, flows, env)
+	if d := (PANR{}).Route(RouteCtx{Net: n, At: 0, Dst: 59}); d != geom.North {
+		t.Errorf("PANR chose %v through the noisy tile", d)
+	}
+	// Below one sensor step of difference, stick to the default (E).
+	env.PSN[1] = 0.002
+	if d := (PANR{}).Route(RouteCtx{Net: n, At: 0, Dst: 59}); d != geom.East {
+		t.Errorf("PANR deviated for a sub-step difference: %v", d)
+	}
+}
+
+// Above the buffer-occupancy threshold B, PANR switches to congestion mode
+// (Algorithm 3 line 4-5) and follows incoming data rate instead of PSN.
+func TestPANRCongestionModeSwitch(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.01}}
+	env := &Env{PSN: make([]float64, 60)}
+	env.PSN[1] = 0.08 // east (the dimension-ordered default) noisy and busy
+	env.PSN[10] = 0.0 // north quiet and idle
+	n := mkNet(t, PANR{}, flows, env)
+	n.routers[1].incomingRate = 2.0
+	n.routers[10].incomingRate = 0.0
+	// Quiet input: PSN decides -> north (quiet, idle alternative).
+	if d := (PANR{}).Route(RouteCtx{Net: n, At: 0, Dst: 59, InputOccupancy: 0.1}); d != geom.North {
+		t.Errorf("uncongested PANR chose %v", d)
+	}
+	// Congested input: data rate decides -> north (far less incoming).
+	if d := (PANR{}).Route(RouteCtx{Net: n, At: 0, Dst: 59, InputOccupancy: 0.9}); d != geom.North {
+		t.Errorf("congested PANR chose %v", d)
+	}
+	// A busy alternative is not worth deviating to: north busy, east noisy.
+	n.routers[1].incomingRate = 0.0
+	n.routers[10].incomingRate = 2.0
+	if d := (PANR{}).Route(RouteCtx{Net: n, At: 0, Dst: 59, InputOccupancy: 0.1}); d != geom.East {
+		t.Errorf("PANR deviated onto a saturated router: %v", d)
+	}
+}
+
+// ICON follows router activity and ignores PSN entirely.
+func TestICONIgnoresPSN(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.01}}
+	env := &Env{PSN: make([]float64, 60)}
+	env.PSN[10] = 0.15 // very noisy north tile
+	n := mkNet(t, ICON{}, flows, env)
+	n.routers[1].incomingRate = 1.0 // busy east router
+	n.routers[10].incomingRate = 0.0
+	if d := (ICON{}).Route(RouteCtx{Net: n, At: 0, Dst: 59}); d != geom.North {
+		t.Errorf("ICON chose %v; it should follow router activity, not PSN", d)
+	}
+}
+
+func TestPANRCustomThreshold(t *testing.T) {
+	flows := []Flow{{Src: 0, Dst: 59, Rate: 0.01}}
+	env := &Env{PSN: make([]float64, 60)}
+	env.PSN[1] = 0.08
+	n := mkNet(t, PANR{Threshold: 0.9}, flows, env)
+	// Occupancy 0.6 is below the custom 0.9 threshold: PSN mode steers to
+	// the quiet, idle north neighbor.
+	if d := (PANR{Threshold: 0.9}).Route(RouteCtx{Net: n, At: 0, Dst: 59, InputOccupancy: 0.6}); d != geom.North {
+		t.Errorf("custom threshold ignored: %v", d)
+	}
+}
+
+func TestEnvNilSafety(t *testing.T) {
+	var e *Env
+	if e.psnAt(3) != 0 {
+		t.Error("nil env did not read as quiet")
+	}
+	e = &Env{PSN: []float64{0.1}}
+	if e.psnAt(0) != 0.1 || e.psnAt(5) != 0 || e.psnAt(-1) != 0 {
+		t.Error("env bounds handling wrong")
+	}
+}
+
+func TestPANROverheadNumbers(t *testing.T) {
+	o := PANROverhead()
+	if o.PowerMilliwatts != 1.0 {
+		t.Errorf("power overhead %g mW, want ~1", o.PowerMilliwatts)
+	}
+	if o.AreaUm2 != 115 {
+		t.Errorf("area overhead %g um2, want 115", o.AreaUm2)
+	}
+	if o.ComparatorCount != 2 {
+		t.Errorf("%d comparators, want 2", o.ComparatorCount)
+	}
+	if o.HopSelectionCycles != 1 {
+		t.Errorf("hop selection %d cycles, want 1 (masked)", o.HopSelectionCycles)
+	}
+	if o.PowerPercent <= 0 || o.PowerPercent > 10 {
+		t.Errorf("power percent %g implausible", o.PowerPercent)
+	}
+	if o.SensorNetworkAreaUm2 != 413 {
+		t.Errorf("sensor area %g, want 413", o.SensorNetworkAreaUm2)
+	}
+}

@@ -1,0 +1,47 @@
+package pdn
+
+import (
+	"testing"
+
+	"parm/internal/power"
+)
+
+// BenchmarkSimulateDomain times one transient solve of a fully loaded
+// domain — the inner loop of chip-wide PSN sampling.
+func BenchmarkSimulateDomain(b *testing.B) {
+	p := power.MustParams(power.Node7)
+	loads := BuildLoads(occupantsForBench(p))
+	cfg := Config{Params: p, Vdd: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateDomain(cfg, loads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDCOperatingPoint times the linear solve used to initialize the
+// transient.
+func BenchmarkDCOperatingPoint(b *testing.B) {
+	p := power.MustParams(power.Node7)
+	loads := BuildLoads(occupantsForBench(p))
+	c := newCircuit(Config{Params: p, Vdd: 0.5}.withDefaults(), loads)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.dcOperatingPoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func occupantsForBench(p power.NodeParams) [DomainTiles]TileOccupant {
+	var occ [DomainTiles]TileOccupant
+	for i := range occ {
+		class := High
+		if i%2 == 1 {
+			class = Low
+		}
+		occ[i] = TileOccupant{IAvg: p.TileCurrent(0.5, 0.9, 0.4), Class: class, Staggered: true}
+	}
+	return occ
+}

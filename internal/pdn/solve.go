@@ -1,0 +1,86 @@
+// Package pdn models the on-chip power delivery network of a 4-tile power
+// supply domain and estimates power supply noise (PSN) by transient
+// simulation, replacing the SPICE model of the paper (§3.4, Fig. 2).
+//
+// The lumped circuit per domain:
+//
+//	Vs ──Rb──Lb──● B (bump node, package decap Cb)
+//	             │ Rv (via) to each tile node
+//	      T0 ──Rg── T1
+//	       │         │ Rg    (2x2 on-chip grid; diagonal tiles couple
+//	      T2 ──Rg── T3        only through two grid resistances)
+//
+// with decoupling capacitance Cdecap and a workload current source at every
+// tile node. The two PSN mechanisms of the paper emerge directly: resistive
+// IR drop from average current, and inductive di/dt droop from switching
+// activity through Lb. Tiles at Manhattan distance 1 inside the domain share
+// one grid resistance and interfere more than diagonal (distance-2) tiles,
+// reproducing Fig. 3(b).
+package pdn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("pdn: singular linear system")
+
+// SolveLinear solves the dense linear system a·x = b in place using Gaussian
+// elimination with partial pivoting and returns x. Both a and b are
+// modified. It returns ErrSingular when no unique solution exists.
+//
+// The systems in this package are tiny (≤ 8 unknowns: DC operating points of
+// a domain), so a dense direct solve is the right tool.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("pdn: bad system shape %dx%d vs %d", len(a), len(a), len(b))
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("pdn: non-square matrix row of length %d", len(row))
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-18 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

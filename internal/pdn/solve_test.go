@@ -1,0 +1,113 @@
+package pdn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	b := []float64{4, -2, 7}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{4, -2, 7} {
+		if math.Abs(x[i]-want) > 1e-12 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal requires partial pivoting.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Error("singular system solved without error")
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched rhs accepted")
+	}
+}
+
+// Property: for random diagonally dominant systems, the residual a*x - b is
+// tiny. Such systems always have a unique solution.
+func TestSolveLinearResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		b := make([]float64, n)
+		borig := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					a[i][j] = rng.Float64()*2 - 1
+					sum += math.Abs(a[i][j])
+				}
+			}
+			a[i][i] = sum + 1 + rng.Float64()
+			copy(orig[i], a[i])
+			b[i] = rng.Float64()*10 - 5
+			borig[i] = b[i]
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			r := -borig[i]
+			for j := 0; j < n; j++ {
+				r += orig[i][j] * x[j]
+			}
+			if math.Abs(r) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header and rows align: the "value" column starts at the same offset.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("no value column")
+	}
+	if lines[3][idx-2:idx] != "  " && lines[4][idx-2:idx] != "  " {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159265)
+	tb.AddRow(float32(2.5))
+	tb.AddRow(42)
+	tb.AddRow("text")
+	if tb.Rows[0][0] != "3.142" {
+		t.Errorf("float64 formatted as %q", tb.Rows[0][0])
+	}
+	if tb.Rows[1][0] != "2.5" {
+		t.Errorf("float32 formatted as %q", tb.Rows[1][0])
+	}
+	if tb.Rows[2][0] != "42" || tb.Rows[3][0] != "text" {
+		t.Error("non-float formatting wrong")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2)
+	tb.AddRow("x", "y")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\nx,y\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "==") {
+		t.Error("untitled table printed a title banner")
+	}
+}

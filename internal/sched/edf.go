@@ -1,0 +1,242 @@
+// Package sched schedules an application's task graph onto its mapped
+// cores with earliest-deadline-first (EDF) priorities, and models the
+// checkpoint/rollback fault-tolerance scheme the paper uses to recover
+// from voltage emergencies (§4.2, §4.5).
+//
+// Task deadlines (priorities) are derived from the application deadline by
+// a backward pass over the APG, following the task-graph scheduling
+// technique of the authors' prior work ([23]). With PARM's one-task-per-
+// core mapping the schedule is work-conserving list scheduling; the package
+// also supports fewer cores than tasks, where EDF ordering matters.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"parm/internal/appmodel"
+)
+
+// Checkpoint/rollback constants from paper §5.1.
+const (
+	// CheckpointPeriod is the interval between checkpoints in seconds.
+	CheckpointPeriod = 1e-3
+	// CheckpointCycles is the overhead of taking one checkpoint.
+	CheckpointCycles = 256
+	// RollbackCycles is the restart overhead after a voltage emergency.
+	RollbackCycles = 10000
+)
+
+// CheckpointOverheadFrac returns the fractional execution-time overhead of
+// periodic checkpointing at clock frequency f.
+func CheckpointOverheadFrac(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return CheckpointCycles / (CheckpointPeriod * f)
+}
+
+// RollbackPenalty returns the expected lost time per voltage emergency at
+// clock frequency f: the restart overhead plus re-execution of half a
+// checkpoint interval on average.
+func RollbackPenalty(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return RollbackCycles/f + CheckpointPeriod/2
+}
+
+// CommDelay returns the serialized transfer time in seconds of one APG
+// edge, as measured by the NoC model for the edge's mapped flow. A nil
+// CommDelay means zero-cost communication.
+type CommDelay func(e appmodel.Edge) float64
+
+// Config parameterizes one schedule computation.
+type Config struct {
+	// Freq is the core clock frequency in Hz (all of an application's
+	// cores share one Vdd, hence one frequency).
+	Freq float64
+	// Cores is the number of cores available. Zero means one per task.
+	Cores int
+	// Delay supplies per-edge communication delays; nil means zero.
+	Delay CommDelay
+	// Checkpointing inflates compute times by the periodic checkpoint
+	// overhead when true.
+	Checkpointing bool
+	// SyncCyclesPerTask adds per-task barrier overhead in cycles, matching
+	// the profile model (appmodel.Benchmark.SyncCyclesPerTask).
+	SyncCyclesPerTask float64
+	// AppDeadline is the application's relative deadline in seconds, used
+	// for the backward priority pass. Zero derives priorities from the
+	// graph structure alone.
+	AppDeadline float64
+}
+
+// Result is a computed schedule.
+type Result struct {
+	// Makespan is the completion time of the last task in seconds.
+	Makespan float64
+	// Start and Finish give per-task times in seconds.
+	Start, Finish []float64
+	// TaskDeadline holds the EDF priority (derived deadline) per task.
+	TaskDeadline []float64
+}
+
+// Schedule computes an EDF list schedule of g under cfg. It returns an
+// error when the frequency is non-positive or the graph is invalid.
+func Schedule(g *appmodel.APG, cfg Config) (*Result, error) {
+	if cfg.Freq <= 0 {
+		return nil, fmt.Errorf("sched: non-positive frequency %g", cfg.Freq)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = n
+	}
+
+	exec := make([]float64, n)
+	over := 1.0
+	if cfg.Checkpointing {
+		over += CheckpointOverheadFrac(cfg.Freq)
+	}
+	for i, t := range g.Tasks {
+		exec[i] = (t.WorkCycles + cfg.SyncCyclesPerTask) / cfg.Freq * over
+	}
+	delay := func(e appmodel.Edge) float64 {
+		if cfg.Delay == nil {
+			return 0
+		}
+		d := cfg.Delay(e)
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+
+	// Adjacency and in-degrees.
+	succ := make([][]appmodel.Edge, n)
+	pred := make([][]appmodel.Edge, n)
+	for _, e := range g.Edges {
+		succ[e.Src] = append(succ[e.Src], e)
+		pred[e.Dst] = append(pred[e.Dst], e)
+	}
+
+	// Backward pass: derive task deadlines from the application deadline
+	// ([23]): a task must finish early enough for every successor chain.
+	dl := make([]float64, n)
+	appDL := cfg.AppDeadline
+	if appDL <= 0 {
+		// Use the graph span as a neutral reference.
+		appDL = 0
+		for i := range exec {
+			appDL += exec[i]
+		}
+	}
+	for i := range dl {
+		dl[i] = appDL
+	}
+	// Edges are topologically ordered (Src < Dst), so one reverse sweep
+	// over tasks suffices.
+	for i := n - 1; i >= 0; i-- {
+		for _, e := range succ[i] {
+			cand := dl[e.Dst] - exec[e.Dst] - delay(e)
+			if cand < dl[i] {
+				dl[i] = cand
+			}
+		}
+	}
+
+	// EDF list scheduling on `cores` identical cores.
+	res := &Result{
+		Start:        make([]float64, n),
+		Finish:       make([]float64, n),
+		TaskDeadline: dl,
+	}
+	ready := make([]float64, n) // earliest data-ready time
+	inDeg := make([]int, n)
+	for i := range inDeg {
+		inDeg[i] = len(pred[i])
+	}
+
+	// Core availability as a min-heap of free times.
+	coreFree := make(floatHeap, cores)
+	heap.Init(&coreFree)
+
+	// Ready queue ordered by (deadline, id).
+	rq := &taskHeap{dl: dl}
+	for i := 0; i < n; i++ {
+		if inDeg[i] == 0 {
+			heap.Push(rq, i)
+		}
+	}
+	scheduled := 0
+	for rq.Len() > 0 {
+		t := heap.Pop(rq).(int)
+		core := heap.Pop(&coreFree).(float64)
+		start := math.Max(core, ready[t])
+		finish := start + exec[t]
+		res.Start[t], res.Finish[t] = start, finish
+		heap.Push(&coreFree, finish)
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+		scheduled++
+		for _, e := range succ[t] {
+			arr := finish + delay(e)
+			if arr > ready[e.Dst] {
+				ready[e.Dst] = arr
+			}
+			inDeg[e.Dst]--
+			if inDeg[e.Dst] == 0 {
+				heap.Push(rq, int(e.Dst))
+			}
+		}
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("sched: scheduled %d of %d tasks (cyclic graph?)", scheduled, n)
+	}
+	return res, nil
+}
+
+// floatHeap is a min-heap of core free times.
+type floatHeap []float64
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// taskHeap orders ready tasks by derived deadline, then ID.
+type taskHeap struct {
+	ids []int
+	dl  []float64
+}
+
+func (h taskHeap) Len() int { return len(h.ids) }
+func (h taskHeap) Less(i, j int) bool {
+	a, b := h.ids[i], h.ids[j]
+	if h.dl[a] != h.dl[b] {
+		return h.dl[a] < h.dl[b]
+	}
+	return a < b
+}
+func (h taskHeap) Swap(i, j int)       { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *taskHeap) Push(x interface{}) { h.ids = append(h.ids, x.(int)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	v := old[n-1]
+	h.ids = old[:n-1]
+	return v
+}

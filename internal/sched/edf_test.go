@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parm/internal/appmodel"
+	"parm/internal/pdn"
+)
+
+// chainGraph builds a linear chain of n tasks with the given work.
+func chainGraph(n int, work float64) *appmodel.APG {
+	g := &appmodel.APG{Bench: "chain"}
+	for i := 0; i < n; i++ {
+		g.Tasks = append(g.Tasks, appmodel.Task{ID: appmodel.TaskID(i), Activity: pdn.High, WorkCycles: work})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, appmodel.Edge{Src: appmodel.TaskID(i), Dst: appmodel.TaskID(i + 1), Volume: 160})
+	}
+	return g
+}
+
+// diamondGraph: 0 -> {1,2} -> 3 with distinct works.
+func diamondGraph() *appmodel.APG {
+	return &appmodel.APG{
+		Bench: "diamond",
+		Tasks: []appmodel.Task{
+			{ID: 0, Activity: pdn.High, WorkCycles: 100},
+			{ID: 1, Activity: pdn.High, WorkCycles: 300},
+			{ID: 2, Activity: pdn.Low, WorkCycles: 50},
+			{ID: 3, Activity: pdn.Low, WorkCycles: 100},
+		},
+		Edges: []appmodel.Edge{
+			{Src: 0, Dst: 1, Volume: 160}, {Src: 0, Dst: 2, Volume: 160},
+			{Src: 1, Dst: 3, Volume: 160}, {Src: 2, Dst: 3, Volume: 160},
+		},
+	}
+}
+
+func TestScheduleChain(t *testing.T) {
+	g := chainGraph(4, 100)
+	res, err := Schedule(g, Config{Freq: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * 100 / 1e9
+	if math.Abs(res.Makespan-want) > 1e-15 {
+		t.Errorf("chain makespan = %g, want %g", res.Makespan, want)
+	}
+	// Dependencies respected.
+	for i := 1; i < 4; i++ {
+		if res.Start[i] < res.Finish[i-1] {
+			t.Errorf("task %d started before predecessor finished", i)
+		}
+	}
+}
+
+func TestScheduleDiamondCriticalPath(t *testing.T) {
+	res, err := Schedule(diamondGraph(), Config{Freq: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path 0 -> 1 -> 3 = 500 cycles.
+	if math.Abs(res.Makespan-500e-9) > 1e-15 {
+		t.Errorf("diamond makespan = %g, want 500ns", res.Makespan)
+	}
+}
+
+func TestScheduleCommDelays(t *testing.T) {
+	delay := func(e appmodel.Edge) float64 { return 10e-9 }
+	res, err := Schedule(diamondGraph(), Config{Freq: 1e9, Delay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two edges on the critical path add 20ns.
+	if math.Abs(res.Makespan-520e-9) > 1e-15 {
+		t.Errorf("makespan with delays = %g, want 520ns", res.Makespan)
+	}
+	// Negative delays are clamped to zero.
+	neg := func(e appmodel.Edge) float64 { return -5 }
+	res2, err := Schedule(diamondGraph(), Config{Freq: 1e9, Delay: neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Makespan-500e-9) > 1e-15 {
+		t.Errorf("negative delay not clamped: %g", res2.Makespan)
+	}
+}
+
+// With fewer cores than tasks, the schedule serializes and EDF priorities
+// decide who runs first.
+func TestScheduleLimitedCores(t *testing.T) {
+	g := &appmodel.APG{
+		Bench: "par",
+		Tasks: []appmodel.Task{
+			{ID: 0, Activity: pdn.High, WorkCycles: 100},
+			{ID: 1, Activity: pdn.High, WorkCycles: 100},
+			{ID: 2, Activity: pdn.High, WorkCycles: 100},
+			{ID: 3, Activity: pdn.High, WorkCycles: 100},
+		},
+	}
+	full, err := Schedule(g, Config{Freq: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Schedule(g, Config{Freq: 1e9, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.Makespan-100e-9) > 1e-15 {
+		t.Errorf("4-core makespan = %g", full.Makespan)
+	}
+	if math.Abs(half.Makespan-200e-9) > 1e-15 {
+		t.Errorf("2-core makespan = %g", half.Makespan)
+	}
+	single, err := Schedule(g, Config{Freq: 1e9, Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.Makespan-400e-9) > 1e-15 {
+		t.Errorf("1-core makespan = %g", single.Makespan)
+	}
+}
+
+// EDF ordering: with one core, the task whose successor chain is longer
+// (earlier derived deadline) runs first.
+func TestEDFPriorityOrdering(t *testing.T) {
+	g := &appmodel.APG{
+		Bench: "edf",
+		Tasks: []appmodel.Task{
+			{ID: 0, Activity: pdn.High, WorkCycles: 100}, // feeds a long chain
+			{ID: 1, Activity: pdn.High, WorkCycles: 100}, // independent
+			{ID: 2, Activity: pdn.High, WorkCycles: 500},
+		},
+		Edges: []appmodel.Edge{{Src: 0, Dst: 2, Volume: 160}},
+	}
+	res, err := Schedule(g, Config{Freq: 1e9, Cores: 1, AppDeadline: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskDeadline[0] >= res.TaskDeadline[1] {
+		t.Errorf("task 0 deadline %g not earlier than independent task's %g",
+			res.TaskDeadline[0], res.TaskDeadline[1])
+	}
+	if res.Start[0] > res.Start[1] {
+		t.Error("EDF ran the independent task before the chain head")
+	}
+}
+
+func TestScheduleCheckpointOverhead(t *testing.T) {
+	g := chainGraph(3, 1e6)
+	plain, err := Schedule(g, Config{Freq: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := Schedule(g, Config{Freq: 1e9, Checkpointing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFactor := 1 + CheckpointOverheadFrac(1e9)
+	if math.Abs(ckpt.Makespan/plain.Makespan-wantFactor) > 1e-9 {
+		t.Errorf("checkpoint factor = %g, want %g", ckpt.Makespan/plain.Makespan, wantFactor)
+	}
+}
+
+func TestScheduleSyncOverhead(t *testing.T) {
+	g := chainGraph(2, 1000)
+	res, err := Schedule(g, Config{Freq: 1e9, SyncCyclesPerTask: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-3000e-9) > 1e-15 {
+		t.Errorf("makespan with sync = %g, want 3000ns", res.Makespan)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	g := chainGraph(2, 100)
+	if _, err := Schedule(g, Config{Freq: 0}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	bad := chainGraph(2, 100)
+	bad.Edges[0].Src, bad.Edges[0].Dst = 1, 0
+	if _, err := Schedule(bad, Config{Freq: 1e9}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+// Property: makespan never decreases when a uniform comm delay is added.
+func TestMakespanMonotoneInDelay(t *testing.T) {
+	bench := appmodel.Benchmarks()[0]
+	g := bench.Graph(16)
+	f := func(dRaw uint8) bool {
+		d := float64(dRaw) * 1e-9
+		r0, err0 := Schedule(g, Config{Freq: 1e9})
+		r1, err1 := Schedule(g, Config{Freq: 1e9, Delay: func(appmodel.Edge) float64 { return d }})
+		return err0 == nil && err1 == nil && r1.Makespan >= r0.Makespan-1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fewer cores never shortens the schedule.
+func TestMakespanMonotoneInCores(t *testing.T) {
+	g := appmodel.Benchmarks()[3].Graph(16)
+	prev := math.Inf(1)
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		res, err := Schedule(g, Config{Freq: 1e9, Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > prev+1e-18 {
+			t.Fatalf("makespan grew from %d cores", cores)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if RollbackPenalty(1e9) <= CheckpointPeriod/2 {
+		t.Error("rollback penalty missing restart overhead")
+	}
+	if RollbackPenalty(0) != 0 || CheckpointOverheadFrac(0) != 0 {
+		t.Error("zero frequency not handled")
+	}
+	// Checkpoint overhead at 1 GHz: 256 cycles per 1 ms = 0.0256%.
+	if f := CheckpointOverheadFrac(1e9); math.Abs(f-256e-6) > 1e-12 {
+		t.Errorf("checkpoint overhead = %g", f)
+	}
+}
