@@ -127,6 +127,48 @@ func BenchmarkFig6ExecutionTime(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunFig6Cell times one Fig. 6 cell (PARM+PANR, mixed
+// workload) end to end under the serial reference pipeline versus the
+// parallel, cached measurement pipeline. Both produce bit-identical metrics
+// (see core.TestPipelineSerialParallelDeterministic); the cell is the
+// evaluation's unit of work, so the ratio of these two is the speedup every
+// figure regeneration sees.
+func BenchmarkEngineRunFig6Cell(b *testing.B) {
+	run := func(b *testing.B, cfg core.Config) {
+		fw := core.MustCombo("PARM", "PANR")
+		node := power.MustParams(power.Node7)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := appmodel.Generate(appmodel.WorkloadConfig{
+				Kind: appmodel.WorkloadMixed, NumApps: benchApps, ArrivalGap: 0.05,
+				Node: node, Seed: 42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := core.NewEngine(cfg, fw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := eng.Run(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(m.TotalTime, "totalTime_s")
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, core.Config{
+			SoftDeadlines:   true,
+			DisableNoCCache: true,
+			Chip:            chip.Config{PSNWorkers: 1, DisablePSNCache: true},
+		})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		run(b, core.Config{SoftDeadlines: true})
+	})
+}
+
 // BenchmarkFig7PSN regenerates Fig. 7 (peak and average PSN) for the two
 // extreme frameworks on the communication-intensive workload.
 func BenchmarkFig7PSN(b *testing.B) {

@@ -1,0 +1,63 @@
+package appmodel
+
+import (
+	"sync"
+	"testing"
+
+	"parm/internal/power"
+)
+
+// WCETEstimate is served from a package-level sync.Map shared by every
+// engine goroutine (the expr worker pool runs simulations concurrently).
+// Hammering the same key grid from many goroutines must race-cleanly return
+// the same values the serial path computes.
+func TestWCETEstimateConcurrent(t *testing.T) {
+	p := power.MustParams(power.Node7)
+	benches := Benchmarks()[:4]
+	vdds := p.VddLevels(0.1)
+	dops := DoPValues()
+
+	// Serial reference, also warming part of the cache so concurrent
+	// callers mix loads against stores.
+	want := make(map[wcetKey]float64)
+	for _, b := range benches[:2] {
+		for _, v := range vdds {
+			for _, d := range dops {
+				want[wcetKey{bench: b.Name, node: p.Node, vdd: v, dop: d}] = b.WCETEstimate(p, v, d)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, b := range benches {
+				for _, v := range vdds {
+					for _, d := range dops {
+						got := b.WCETEstimate(p, v, d)
+						key := wcetKey{bench: b.Name, node: p.Node, vdd: v, dop: d}
+						if ref, ok := want[key]; ok && got != ref {
+							t.Errorf("%s vdd=%g dop=%d: concurrent %g != serial %g",
+								b.Name, v, d, got, ref)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Values computed under contention must now be stable.
+	for _, b := range benches {
+		for _, v := range vdds {
+			for _, d := range dops {
+				if first, second := b.WCETEstimate(p, v, d), b.WCETEstimate(p, v, d); first != second {
+					t.Fatalf("%s vdd=%g dop=%d unstable: %g then %g", b.Name, v, d, first, second)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,8 @@ package chip
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"parm/internal/geom"
 	"parm/internal/pdn"
@@ -69,6 +71,14 @@ type Config struct {
 	DsPB float64
 	// VddStep is the supply voltage granularity. Zero selects 0.1 V.
 	VddStep float64
+	// PSNWorkers bounds the worker pool SamplePSN fans the per-domain
+	// transient solves out over. Zero selects GOMAXPROCS; 1 forces the
+	// serial reference path. Results are bit-identical for any value.
+	PSNWorkers int
+	// DisablePSNCache turns off the domain-solve memoization, forcing
+	// every sample to integrate every active domain (serial reference
+	// mode for determinism tests and benchmarks).
+	DisablePSNCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,15 @@ type Chip struct {
 	domains    []Domain
 	tileDomain []DomainID
 	occupants  []Occupant
+
+	// psnWorkers is the resolved SamplePSN pool bound (>= 1).
+	psnWorkers int
+	// solveCache memoizes domain solves across samples and workers; nil
+	// when caching is disabled.
+	solveCache *pdn.SolveCache
+	// solverPool recycles pdn.Solver scratch buffers across samples (one
+	// solver is checked out per worker per sample).
+	solverPool sync.Pool
 }
 
 // New builds a chip from cfg. It returns an error when the mesh dimensions
@@ -117,6 +136,14 @@ func New(cfg Config) (*Chip, error) {
 		tileDomain: make([]DomainID, m.NumTiles()),
 		occupants:  make([]Occupant, m.NumTiles()),
 	}
+	c.psnWorkers = cfg.PSNWorkers
+	if c.psnWorkers <= 0 {
+		c.psnWorkers = runtime.GOMAXPROCS(0)
+	}
+	if !cfg.DisablePSNCache {
+		c.solveCache = pdn.NewSolveCache()
+	}
+	c.solverPool.New = func() interface{} { return pdn.NewSolver(c.solveCache) }
 	for i := range c.occupants {
 		c.occupants[i].App = NoApp
 	}

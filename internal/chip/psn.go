@@ -2,6 +2,8 @@ package chip
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"parm/internal/pdn"
 )
@@ -48,11 +50,24 @@ func (s *PSNSample) ActiveAvg() float64 {
 	return sum / float64(n)
 }
 
+// psnJob is one active domain's solve input in a SamplePSN fan-out.
+type psnJob struct {
+	domain int
+	cfg    pdn.Config
+	loads  [pdn.DomainTiles]pdn.TileLoad
+}
+
 // SamplePSN transient-simulates every active domain and returns the chip's
 // PSN sample. routerUtil gives the measured NoC router utilization per tile
 // in [0,1] (flits forwarded per cycle, normalized); it may be nil when no
 // traffic information is available. Same-class tasks of the app owning a
 // domain are phase-staggered (see pdn.BuildLoads).
+//
+// The per-domain solves are independent, so they are fanned out over a
+// worker pool bounded by Config.PSNWorkers and aggregated in domain order;
+// repeated load signatures are served from the chip's solve cache (see
+// pdn.Solver). The sample is bit-identical for any worker count and with
+// the cache on or off.
 func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 	if routerUtil != nil && len(routerUtil) != c.Mesh.NumTiles() {
 		return nil, fmt.Errorf("chip: routerUtil length %d, want %d", len(routerUtil), c.Mesh.NumTiles())
@@ -63,6 +78,9 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 		DomainPeak: make([]float64, len(c.domains)),
 		DomainAvg:  make([]float64, len(c.domains)),
 	}
+	// Phase 1 (serial): gather the occupant state of every active domain
+	// into solve jobs. This touches chip state, so it stays on the caller.
+	jobs := make([]psnJob, 0, len(c.domains))
 	for i := range c.domains {
 		d := &c.domains[i]
 		if !d.Occupied() {
@@ -90,16 +108,73 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 				Staggered: true, // same-app threads are barrier-synchronized
 			}
 		}
-		res, err := pdn.SimulateDomain(pdn.Config{Params: c.Node, Vdd: d.Vdd}, pdn.BuildLoads(occ))
-		if err != nil {
-			return nil, fmt.Errorf("chip: domain %d: %w", i, err)
+		jobs = append(jobs, psnJob{
+			domain: i,
+			cfg:    pdn.Config{Params: c.Node, Vdd: d.Vdd},
+			loads:  pdn.BuildLoads(occ),
+		})
+	}
+	if len(jobs) == 0 {
+		return s, nil
+	}
+
+	// Phase 2 (parallel): solve the independent domains over the pool.
+	results := make([]pdn.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := c.psnWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		solver := c.solverPool.Get().(*pdn.Solver)
+		for j := range jobs {
+			results[j], errs[j] = solver.SimulateDomain(jobs[j].cfg, jobs[j].loads)
 		}
-		s.DomainPeak[i] = res.DomainPeak()
-		s.DomainAvg[i] = res.DomainAvg()
-		for slot, t := range d.Tiles {
+		c.solverPool.Put(solver)
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		next.Store(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				solver := c.solverPool.Get().(*pdn.Solver)
+				defer c.solverPool.Put(solver)
+				for {
+					j := int(next.Add(1))
+					if j >= len(jobs) {
+						return
+					}
+					results[j], errs[j] = solver.SimulateDomain(jobs[j].cfg, jobs[j].loads)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 3 (serial): aggregate in domain order — deterministic
+	// regardless of which worker solved which domain.
+	for j, job := range jobs {
+		if errs[j] != nil {
+			return nil, fmt.Errorf("chip: domain %d: %w", job.domain, errs[j])
+		}
+		res := results[j]
+		s.DomainPeak[job.domain] = res.DomainPeak()
+		s.DomainAvg[job.domain] = res.DomainAvg()
+		for slot, t := range c.domains[job.domain].Tiles {
 			s.TilePeak[t] = res.PeakPSN[slot]
 			s.TileAvg[t] = res.AvgPSN[slot]
 		}
 	}
 	return s, nil
+}
+
+// PSNCacheStats reports the chip's domain-solve cache hits, misses, and
+// entry count. All zeros when the cache is disabled.
+func (c *Chip) PSNCacheStats() (hits, misses uint64, entries int) {
+	if c.solveCache == nil {
+		return 0, 0, 0
+	}
+	return c.solveCache.Stats()
 }

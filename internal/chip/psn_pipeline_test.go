@@ -1,0 +1,182 @@
+package chip
+
+import (
+	"sync"
+	"testing"
+
+	"parm/internal/pdn"
+)
+
+// populate fills every domain of the chip with a distinct app at cycling
+// Vdd levels and mixed activity classes, so a sample exercises varied load
+// signatures.
+func populate(t testing.TB, c *Chip) {
+	t.Helper()
+	vdds := c.Vdds
+	for d := 0; d < c.NumDomains(); d++ {
+		vdd := vdds[d%len(vdds)]
+		if err := c.AssignDomain(DomainID(d), d+1, vdd); err != nil {
+			t.Fatal(err)
+		}
+		dom := c.Domain(DomainID(d))
+		for slot, tile := range dom.Tiles {
+			class := pdn.High
+			if (d+slot)%3 == 0 {
+				class = pdn.Low
+			}
+			if err := c.PlaceTask(tile, d+1, slot, class); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func utilRamp(c *Chip) []float64 {
+	util := make([]float64, c.Mesh.NumTiles())
+	for i := range util {
+		util[i] = float64(i%7) / 20
+	}
+	return util
+}
+
+func sameSample(a, b *PSNSample) bool {
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.TilePeak, b.TilePeak) && eq(a.TileAvg, b.TileAvg) &&
+		eq(a.DomainPeak, b.DomainPeak) && eq(a.DomainAvg, b.DomainAvg)
+}
+
+// The parallel, cached sampling path must be bit-identical to the serial,
+// uncached reference for any worker count.
+func TestSamplePSNParallelMatchesSerial(t *testing.T) {
+	ref, err := New(Config{PSNWorkers: 1, DisablePSNCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, ref)
+	util := utilRamp(ref)
+	want, err := ref.SamplePSN(util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		c, err := New(Config{PSNWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		populate(t, c)
+		for rep := 0; rep < 2; rep++ { // second rep runs fully from cache
+			got, err := c.SamplePSN(util)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSample(got, want) {
+				t.Fatalf("workers=%d rep=%d: sample differs from serial reference", workers, rep)
+			}
+		}
+		if hits, misses, _ := c.PSNCacheStats(); hits == 0 || misses == 0 {
+			t.Errorf("workers=%d: cache not exercised (hits=%d misses=%d)", workers, hits, misses)
+		}
+	}
+}
+
+// Repeated samples with an unchanged occupant set are served from the
+// solve cache: the second sample adds no misses.
+func TestSamplePSNCacheHitsOnRepeat(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, c)
+	util := utilRamp(c)
+	if _, err := c.SamplePSN(util); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst, _ := c.PSNCacheStats()
+	if _, err := c.SamplePSN(util); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.PSNCacheStats()
+	if misses != missesAfterFirst {
+		t.Errorf("repeat sample integrated again: misses %d -> %d", missesAfterFirst, misses)
+	}
+	if hits < uint64(c.NumDomains()) {
+		t.Errorf("repeat sample hit only %d times, want >= %d", hits, c.NumDomains())
+	}
+}
+
+// Concurrent SamplePSN calls on one chip are safe (run with -race): the
+// sampler only reads chip state and synchronizes on the solver pool and
+// cache.
+func TestSamplePSNConcurrentCallers(t *testing.T) {
+	c, err := New(Config{PSNWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, c)
+	util := utilRamp(c)
+	want, err := c.SamplePSN(util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				got, err := c.SamplePSN(util)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !sameSample(got, want) {
+					t.Error("concurrent sample diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkSamplePSNParallel measures a full-chip PSN sample: the serial
+// uncached reference, the parallel uncached pool, and the steady-state
+// cached path (the hot path of every simulated second).
+func BenchmarkSamplePSNParallel(b *testing.B) {
+	bench := func(b *testing.B, cfg Config, util []float64) {
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		populate(b, c)
+		if util == nil {
+			util = utilRamp(c)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.SamplePSN(util); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial-nocache", func(b *testing.B) {
+		bench(b, Config{PSNWorkers: 1, DisablePSNCache: true}, nil)
+	})
+	b.Run("parallel-nocache", func(b *testing.B) {
+		bench(b, Config{DisablePSNCache: true}, nil)
+	})
+	b.Run("parallel-cached", func(b *testing.B) {
+		bench(b, Config{}, nil)
+	})
+}

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"parm/internal/geom"
 )
@@ -83,6 +84,7 @@ type Network struct {
 	partialLeft  []int
 	injectRR     []int // round-robin pointer over flows per source tile
 	flowsBySrc   [][]int
+	srcTiles     []int // tiles with at least one flow source, ascending
 	packetStarts map[[2]int]int // (flow, seq) -> injection cycle of head
 
 	// per-cycle scratch, reused to avoid allocation in the hot loop
@@ -118,10 +120,14 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 		flowsBySrc:   make([][]int, mesh.NumTiles()),
 		packetStarts: make(map[[2]int]int),
 	}
+	// One backing array for every input buffer keeps the rings contiguous.
+	bufs := make([]flit, mesh.NumTiles()*geom.NumPorts*cfg.BufferFlits)
 	for i := range n.routers {
 		n.routers[i].tile = geom.TileID(i)
 		for p := range n.routers[i].owner {
 			n.routers[i].owner[p] = noOwner
+			off := (i*geom.NumPorts + p) * cfg.BufferFlits
+			n.routers[i].inputs[p].buf = bufs[off : off+cfg.BufferFlits]
 		}
 		n.partialFlow[i] = -1
 	}
@@ -133,9 +139,13 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 			return nil, fmt.Errorf("noc: flow %d has negative rate %g", i, f.Rate)
 		}
 		if f.Src != f.Dst {
+			if len(n.flowsBySrc[f.Src]) == 0 {
+				n.srcTiles = append(n.srcTiles, int(f.Src))
+			}
 			n.flowsBySrc[f.Src] = append(n.flowsBySrc[f.Src], i)
 		}
 	}
+	sort.Ints(n.srcTiles)
 	return n, nil
 }
 
@@ -188,11 +198,12 @@ func (n *Network) inject() {
 			n.staged[i]++
 		}
 	}
-	// One flit per cycle enters each tile's local input port.
-	for t := range n.routers {
+	// One flit per cycle enters each source tile's local input port (only
+	// tiles with flows can ever inject).
+	lp := dirIndex(geom.Local)
+	for _, t := range n.srcTiles {
 		r := &n.routers[t]
-		lp := dirIndex(geom.Local)
-		if len(r.inputs[lp]) >= n.cfg.BufferFlits {
+		if r.inputs[lp].len() >= n.cfg.BufferFlits {
 			continue
 		}
 		fi := n.pickInjection(t)
@@ -200,7 +211,8 @@ func (n *Network) inject() {
 			continue
 		}
 		k := n.flitToInject(t, fi)
-		r.inputs[lp] = append(r.inputs[lp], k)
+		r.inputs[lp].push(k)
+		r.buffered++
 		r.received++
 		n.stats[fi].InjectedFlits++
 	}
@@ -258,11 +270,14 @@ func (n *Network) flitToInject(t, fi int) flit {
 func (n *Network) routeCompute() {
 	for t := range n.routers {
 		r := &n.routers[t]
+		if r.buffered == 0 {
+			continue
+		}
 		for p := range r.inputs {
-			if len(r.inputs[p]) == 0 {
+			if r.inputs[p].len() == 0 {
 				continue
 			}
-			f := &r.inputs[p][0]
+			f := r.inputs[p].front()
 			if f.routed || (f.kind != KindHead && f.kind != KindHeadTail) {
 				continue
 			}
@@ -286,11 +301,11 @@ func (n *Network) switchTraversal() []pendingArrival {
 	if n.inFlight == nil {
 		n.inFlight = make([][geom.NumPorts]int, len(n.routers))
 	}
-	for i := range n.inFlight {
-		n.inFlight[i] = [geom.NumPorts]int{}
-	}
 	for t := range n.routers {
 		r := &n.routers[t]
+		if r.buffered == 0 {
+			continue // no flits: arbitration and traversal are no-ops
+		}
 		// Output arbitration: free outputs pick a requesting input.
 		for out := 0; out < geom.NumPorts; out++ {
 			if r.owner[out] != noOwner {
@@ -298,10 +313,10 @@ func (n *Network) switchTraversal() []pendingArrival {
 			}
 			for k := 0; k < geom.NumPorts; k++ {
 				in := (r.rrPtr[out] + k) % geom.NumPorts
-				if len(r.inputs[in]) == 0 {
+				if r.inputs[in].len() == 0 {
 					continue
 				}
-				f := r.inputs[in][0]
+				f := r.inputs[in].front()
 				if !f.routed || dirIndex(f.outDir) != out {
 					continue
 				}
@@ -313,13 +328,13 @@ func (n *Network) switchTraversal() []pendingArrival {
 		// Traversal: each owned output forwards its input's front flit.
 		for out := 0; out < geom.NumPorts; out++ {
 			in := r.owner[out]
-			if in == noOwner || len(r.inputs[in]) == 0 {
+			if in == noOwner || r.inputs[in].len() == 0 {
 				continue
 			}
-			f := r.inputs[in][0]
 			if out == dirIndex(geom.Local) {
 				// Ejection: infinite sink.
-				r.inputs[in] = r.inputs[in][1:]
+				f := r.inputs[in].pop()
+				r.buffered--
 				r.forwarded++
 				n.eject(f)
 				if f.kind == KindTail || f.kind == KindHeadTail {
@@ -337,11 +352,12 @@ func (n *Network) switchTraversal() []pendingArrival {
 			}
 			dstPort := dirIndex(dir.Opposite())
 			nr := &n.routers[next]
-			if len(nr.inputs[dstPort])+n.inFlight[next][dstPort] >= n.cfg.BufferFlits {
+			if nr.inputs[dstPort].len()+n.inFlight[next][dstPort] >= n.cfg.BufferFlits {
 				continue // no downstream credit
 			}
 			n.inFlight[next][dstPort]++
-			r.inputs[in] = r.inputs[in][1:]
+			f := r.inputs[in].pop()
+			r.buffered--
 			r.forwarded++
 			// Body/tail flits follow the worm without route computation.
 			moved := f
@@ -370,12 +386,17 @@ func (n *Network) eject(f flit) {
 	}
 }
 
-// applyArrivals lands link crossings into downstream input buffers.
+// applyArrivals lands link crossings into downstream input buffers. It also
+// clears the inFlight credit holds — every nonzero entry corresponds to
+// exactly one arrival, so this leaves the whole table zero for the next
+// sweep without a full rezeroing pass.
 func (n *Network) applyArrivals(arrivals []pendingArrival) {
 	for _, a := range arrivals {
 		r := &n.routers[a.to]
-		r.inputs[a.port] = append(r.inputs[a.port], a.f)
+		r.inputs[a.port].push(a.f)
+		r.buffered++
 		r.received++
+		n.inFlight[a.to][a.port] = 0
 	}
 }
 

@@ -86,7 +86,7 @@ func TestBufferBound(t *testing.T) {
 		n.Step()
 		for r := range n.routers {
 			for p := range n.routers[r].inputs {
-				if got := len(n.routers[r].inputs[p]); got > 4 {
+				if got := n.routers[r].inputs[p].len(); got > 4 {
 					t.Fatalf("cycle %d: router %d port %d holds %d flits (cap 4)", c, r, p, got)
 				}
 			}

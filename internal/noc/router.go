@@ -25,12 +25,49 @@ func dirIndex(d geom.Dir) int {
 
 var indexDir = [geom.NumPorts]geom.Dir{geom.East, geom.West, geom.North, geom.South, geom.Local}
 
+// fifo is one input buffer: a fixed-capacity ring of flits. A ring keeps the
+// hot loop allocation-free — the slice-and-append FIFO it replaces leaked
+// front capacity on every pop and forced a reallocation per packet.
+type fifo struct {
+	buf  []flit
+	head int
+	n    int
+}
+
+func (q *fifo) len() int { return q.n }
+
+// front returns the flit at the head of the queue; the caller must have
+// checked len() > 0. The pointer stays valid until the next pop.
+func (q *fifo) front() *flit { return &q.buf[q.head] }
+
+func (q *fifo) push(f flit) {
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = f
+	q.n++
+}
+
+func (q *fifo) pop() flit {
+	f := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return f
+}
+
 // router is one 5-port input-buffered wormhole router.
 type router struct {
 	tile geom.TileID
 
 	// inputs[p] is the FIFO of flits waiting at input port p.
-	inputs [geom.NumPorts][]flit
+	inputs [geom.NumPorts]fifo
+	// buffered is the total flit count across all input ports; a router
+	// with buffered == 0 has no routing or switching work this cycle.
+	buffered int
 	// owner[p] is the input port that holds the wormhole channel to output
 	// port p, or noOwner.
 	owner [geom.NumPorts]int
@@ -53,7 +90,7 @@ func (r *router) occupancy(p int, capacity int) float64 {
 	if capacity <= 0 {
 		return 0
 	}
-	return float64(len(r.inputs[p])) / float64(capacity)
+	return float64(r.inputs[p].len()) / float64(capacity)
 }
 
 // pendingArrival records a flit crossing a link this cycle, applied after

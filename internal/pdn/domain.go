@@ -187,12 +187,25 @@ func (c *circuit) current(i int, t float64) float64 {
 // currentTable precomputes every tile's current waveform on the half-step
 // grid the RK4 integrator samples (t, t+h/2, t+h), using a sine rotation
 // recurrence so the hot loop performs no trig calls. Entry [i][k] is tile
-// i's current at time k*h/2.
-func (c *circuit) currentTable(h float64, steps int) [DomainTiles][]float64 {
+// i's current at time k*h/2. When scratch is non-nil its slices are reused
+// (and grown as needed) instead of allocating fresh tables — the Solver
+// threads one scratch set through consecutive solves to kill per-call
+// allocation churn.
+func (c *circuit) currentTable(h float64, steps int, scratch *[DomainTiles][]float64) [DomainTiles][]float64 {
 	var out [DomainTiles][]float64
 	n := 2*steps + 2
 	for i := 0; i < DomainTiles; i++ {
-		out[i] = make([]float64, n)
+		if scratch != nil && cap(scratch[i]) >= n {
+			out[i] = scratch[i][:n]
+			for k := range out[i] {
+				out[i][k] = 0
+			}
+		} else {
+			out[i] = make([]float64, n)
+			if scratch != nil {
+				scratch[i] = out[i]
+			}
+		}
 		ld := c.loads[i]
 		if ld.IAvg <= 0 {
 			continue
@@ -315,24 +328,43 @@ func (c *circuit) dcOperatingPoint() (state, error) {
 	return st, nil
 }
 
-// SimulateDomain runs a transient simulation of one 4-tile domain and
-// returns the observed PSN. It returns an error for non-physical
-// configurations (non-positive Vdd or element values).
-func SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result, error) {
-	cfg = cfg.withDefaults()
+// validate rejects non-physical configurations (non-positive Vdd or element
+// values, out-of-range loads). cfg must already have defaults applied.
+func validate(cfg Config, loads [DomainTiles]TileLoad) error {
 	if cfg.Vdd <= 0 {
-		return Result{}, fmt.Errorf("pdn: non-positive Vdd %g", cfg.Vdd)
+		return fmt.Errorf("pdn: non-positive Vdd %g", cfg.Vdd)
 	}
 	p := cfg.Params
 	if p.RBump <= 0 || p.LBump <= 0 || p.RGrid <= 0 || p.CDecap <= 0 {
-		return Result{}, fmt.Errorf("pdn: non-physical node parameters %+v", p)
+		return fmt.Errorf("pdn: non-physical node parameters %+v", p)
 	}
 	for i, ld := range loads {
 		if ld.IAvg < 0 || ld.Activity < 0 || ld.Activity > 1 {
-			return Result{}, fmt.Errorf("pdn: invalid load %d: %+v", i, ld)
+			return fmt.Errorf("pdn: invalid load %d: %+v", i, ld)
 		}
 	}
+	return nil
+}
 
+// SimulateDomain runs a transient simulation of one 4-tile domain and
+// returns the observed PSN. It returns an error for non-physical
+// configurations (non-positive Vdd or element values).
+//
+// This is the exact-input path used by the figure experiments; the runtime
+// measurement pipeline goes through Solver.SimulateDomain, which quantizes
+// the load signature and memoizes repeated solves.
+func SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(cfg, loads); err != nil {
+		return Result{}, err
+	}
+	return simulate(cfg, loads, nil)
+}
+
+// simulate is the transient-integration core shared by SimulateDomain and
+// Solver. cfg must have defaults applied and inputs validated. scratch, when
+// non-nil, supplies reusable current-table buffers.
+func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *[DomainTiles][]float64) (Result, error) {
 	c := newCircuit(cfg, loads)
 	st, err := c.dcOperatingPoint()
 	if err != nil {
@@ -354,7 +386,7 @@ func SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result, error) {
 	recorded := 0
 
 	h := cfg.Dt
-	table := c.currentTable(h, steps)
+	table := c.currentTable(h, steps, scratch)
 	var cur0, curH, cur1 [DomainTiles]float64
 	for n := 0; n < steps; n++ {
 		for i := 0; i < DomainTiles; i++ {

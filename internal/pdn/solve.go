@@ -37,11 +37,28 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 	if n == 0 || len(b) != n {
 		return nil, fmt.Errorf("pdn: bad system shape %dx%d vs %d", len(a), len(a), len(b))
 	}
+	// Singularity is judged relative to the matrix's own scale: conductance
+	// matrices built from nano-Henry bumps or pico-Farad decaps can be
+	// well-conditioned while every entry is far below any fixed absolute
+	// threshold (and, symmetrically, huge entries can hide a rank deficiency
+	// an absolute test would miss).
+	scale := 0.0
 	for _, row := range a {
 		if len(row) != n {
 			return nil, fmt.Errorf("pdn: non-square matrix row of length %d", len(row))
 		}
+		for _, v := range row {
+			if abs(v) > scale {
+				scale = abs(v)
+			}
+		}
 	}
+	if scale == 0 {
+		return nil, ErrSingular
+	}
+	// Pivots below scale*pivotRelTol are indistinguishable from elimination
+	// round-off (~n*machine-epsilon per step for these tiny systems).
+	const pivotRelTol = 1e-12
 	for col := 0; col < n; col++ {
 		// Partial pivot: largest magnitude in this column.
 		pivot := col
@@ -50,7 +67,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 				pivot = r
 			}
 		}
-		if abs(a[pivot][col]) < 1e-18 {
+		if abs(a[pivot][col]) < scale*pivotRelTol {
 			return nil, ErrSingular
 		}
 		a[col], a[pivot] = a[pivot], a[col]

@@ -55,6 +55,40 @@ func TestSolveLinearSingular(t *testing.T) {
 	}
 }
 
+// A badly scaled but well-conditioned system (entries around 1e-20, the
+// magnitudes produced by pico-Farad decaps and nano-Henry bumps) must solve;
+// an absolute pivot threshold would reject it as singular.
+func TestSolveLinearTinyMagnitude(t *testing.T) {
+	const s = 1e-20
+	a := [][]float64{{2 * s, 1 * s}, {1 * s, 3 * s}}
+	b := []float64{5 * s, 10 * s}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("tiny well-conditioned system rejected: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+// The relative test also catches rank deficiency at huge magnitudes, where
+// elimination round-off dwarfs any absolute threshold.
+func TestSolveLinearSingularLargeScale(t *testing.T) {
+	a := [][]float64{{1e20, 2e20}, {2e20, 4e20}}
+	b := []float64{1e20, 2e20}
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Error("rank-deficient large-scale system solved without error")
+	}
+}
+
+func TestSolveLinearZeroMatrix(t *testing.T) {
+	a := [][]float64{{0, 0}, {0, 0}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Error("zero matrix solved without error")
+	}
+}
+
 func TestSolveLinearShapeErrors(t *testing.T) {
 	if _, err := SolveLinear(nil, nil); err == nil {
 		t.Error("empty system accepted")

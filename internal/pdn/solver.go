@@ -1,0 +1,160 @@
+package pdn
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"parm/internal/power"
+)
+
+// Load-signature quantization grids. The runtime measurement pipeline
+// (chip.SamplePSN) solves the same handful of load vectors over and over:
+// occupants change only at map/unmap events and router utilization is a
+// coarse measured ratio, so consecutive samples repeat the same electrical
+// inputs almost exactly. Snapping the inputs to these grids before solving
+// makes the repeats *bit*-exact, which is what lets the solve cache hit,
+// while perturbing the physics far below the model's own fidelity (the
+// sensor path later quantizes PSN readings to 6 bits anyway).
+const (
+	// iavgQuantum snaps average tile current to 0.1 mA (tile currents are
+	// in the ampere range: ~1e-5 relative).
+	iavgQuantum = 1e-4
+	// activityQuantum snaps the modulation depth to 1/1024.
+	activityQuantum = 1.0 / 1024
+	// phaseQuantum snaps the burst phase to 2*pi/4096 radians.
+	phaseQuantum = 2 * math.Pi / 4096
+	// burstQuantum snaps the burst frequency to 1 kHz (burst frequencies
+	// are tens-to-hundreds of MHz).
+	burstQuantum = 1e3
+)
+
+func quantize(v, q float64) float64 { return math.Round(v/q) * q }
+
+// QuantizeLoads snaps a 4-tile load signature to the solver's input grids.
+// Solver.SimulateDomain applies it before every solve, cached or not, so a
+// cached result is always the exact transient solution of the inputs the
+// serial path would integrate.
+func QuantizeLoads(loads [DomainTiles]TileLoad) [DomainTiles]TileLoad {
+	for i := range loads {
+		loads[i].IAvg = quantize(loads[i].IAvg, iavgQuantum)
+		loads[i].Activity = quantize(loads[i].Activity, activityQuantum)
+		loads[i].Phase = quantize(loads[i].Phase, phaseQuantum)
+		loads[i].BurstHz = quantize(loads[i].BurstHz, burstQuantum)
+	}
+	return loads
+}
+
+// solveKey identifies one memoizable domain solve: the full electrical
+// configuration plus the quantized load signature. All fields are scalar,
+// so the struct is directly usable as a map key.
+type solveKey struct {
+	params   power.NodeParams
+	vdd      float64
+	dt       float64
+	duration float64
+	burstHz  float64
+	loads    [DomainTiles]TileLoad
+}
+
+// maxCacheEntries bounds a SolveCache. Real runs see a few hundred distinct
+// keys (occupant sets x Vdd levels x router-utilization grid points); the
+// bound only guards against pathological churn. On overflow the cache is
+// cleared wholesale — eviction order is irrelevant at this hit rate and a
+// plain map stays cheap.
+const maxCacheEntries = 1 << 15
+
+// SolveCache memoizes domain transient solves across Solvers. It is safe
+// for concurrent use; chip.SamplePSN shares one cache across its worker
+// pool, so a load signature solved by any worker is reused by all.
+type SolveCache struct {
+	mu     sync.RWMutex
+	m      map[solveKey]Result
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSolveCache returns an empty cache.
+func NewSolveCache() *SolveCache {
+	return &SolveCache{m: make(map[solveKey]Result)}
+}
+
+func (c *SolveCache) lookup(k solveKey) (Result, bool) {
+	c.mu.RLock()
+	r, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+func (c *SolveCache) store(k solveKey, r Result) {
+	c.mu.Lock()
+	if len(c.m) >= maxCacheEntries {
+		c.m = make(map[solveKey]Result)
+	}
+	c.m[k] = r
+	c.mu.Unlock()
+}
+
+// Stats reports cache hits, misses, and current entry count.
+func (c *SolveCache) Stats() (hits, misses uint64, entries int) {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), n
+}
+
+// Solver runs domain transient simulations with reusable scratch buffers
+// and an optional shared solve cache. A Solver is NOT safe for concurrent
+// use (the scratch is per-solve state); give each worker its own Solver and
+// share the SolveCache between them.
+type Solver struct {
+	cache   *SolveCache
+	scratch [DomainTiles][]float64
+}
+
+// NewSolver returns a Solver backed by cache. A nil cache disables
+// memoization (every call integrates) but keeps the scratch-buffer reuse
+// and the input quantization, so cached and uncached solvers produce
+// bit-identical results for the same inputs.
+func NewSolver(cache *SolveCache) *Solver {
+	return &Solver{cache: cache}
+}
+
+// SimulateDomain is the memoizing counterpart of the package-level
+// SimulateDomain: it quantizes the load signature (QuantizeLoads), then
+// returns the cached transient result for the (node params, Vdd, window,
+// loads) key, integrating only on a miss.
+func (s *Solver) SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(cfg, loads); err != nil {
+		return Result{}, err
+	}
+	loads = QuantizeLoads(loads)
+	if s.cache == nil {
+		return simulate(cfg, loads, &s.scratch)
+	}
+	key := solveKey{
+		params:   cfg.Params,
+		vdd:      cfg.Vdd,
+		dt:       cfg.Dt,
+		duration: cfg.Duration,
+		burstHz:  cfg.BurstHz,
+		loads:    loads,
+	}
+	if r, ok := s.cache.lookup(key); ok {
+		return r, nil
+	}
+	r, err := simulate(cfg, loads, &s.scratch)
+	if err != nil {
+		return Result{}, err
+	}
+	// Concurrent workers may race to compute the same key; both integrate
+	// the identical inputs, so last-write-wins stores the identical value.
+	s.cache.store(key, r)
+	return r, nil
+}
