@@ -84,7 +84,7 @@ func main() {
 	}
 
 	cfg := core.Config{SoftDeadlines: *soft}
-	cfg.Chip.DsPB = *dspb
+	cfg.Chip.DsPB = power.Watts(*dspb)
 	if *explain {
 		steps, err := core.ExplainOnEmptyChip(cfg, fw, w.Apps[0])
 		if err != nil {

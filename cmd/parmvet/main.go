@@ -1,0 +1,49 @@
+// Command parmvet is the project's static-analysis suite: four analyzers
+// that mechanically enforce the invariants the PARM measurement pipeline's
+// bit-identical-metrics guarantee rests on (see DESIGN.md §7).
+//
+// Usage:
+//
+//	go run ./cmd/parmvet ./...
+//
+// It prints one finding per line in file:line:col form and exits nonzero
+// when any analyzer fires. Suppressions are //parm:orderfree,
+// //parm:floateq, //parm:unitless, and //parm:pool comments on or directly
+// above the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parm/internal/analysis/parmvet"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: parmvet [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, r := range parmvet.Rules() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", r.Analyzer.Name, r.Analyzer.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := parmvet.Check(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parmvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "parmvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"parm/internal/appmodel"
 	"parm/internal/chip"
 	"parm/internal/mapping"
+	"parm/internal/power"
 )
 
 func main() {
@@ -22,7 +23,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	place := func(m mapping.Mapper, appID int, bench string, dop int, vdd float64) {
+	place := func(m mapping.Mapper, appID int, bench string, dop int, vdd power.Volts) {
 		b, err := appmodel.BenchmarkByName(bench)
 		if err != nil {
 			log.Fatal(err)

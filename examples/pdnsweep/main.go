@@ -73,7 +73,7 @@ func main() {
 	must(t3.Write(os.Stdout))
 }
 
-func occupant(p power.NodeParams, vdd float64, class pdn.Class) pdn.TileOccupant {
+func occupant(p power.NodeParams, vdd power.Volts, class pdn.Class) pdn.TileOccupant {
 	act := 0.9
 	if class == pdn.Low {
 		act = 0.35
@@ -81,7 +81,7 @@ func occupant(p power.NodeParams, vdd float64, class pdn.Class) pdn.TileOccupant
 	return pdn.TileOccupant{IAvg: p.TileCurrent(vdd, act, 0.3), Class: class}
 }
 
-func fullDomain(p power.NodeParams, vdd float64, staggered bool) [pdn.DomainTiles]pdn.TileLoad {
+func fullDomain(p power.NodeParams, vdd power.Volts, staggered bool) [pdn.DomainTiles]pdn.TileLoad {
 	var occ [pdn.DomainTiles]pdn.TileOccupant
 	for i := range occ {
 		occ[i] = pdn.TileOccupant{

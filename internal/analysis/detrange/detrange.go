@@ -1,0 +1,145 @@
+// Package detrange flags `range` statements over maps in simulation
+// packages. Go randomizes map iteration order, so any map walk on a path
+// that feeds metrics breaks the engine's bit-identical-metrics contract
+// (DESIGN.md §6); deterministic code must iterate sorted keys instead.
+//
+// Two forms are accepted without a report:
+//
+//   - the collect-then-sort idiom: a loop whose body only appends the map
+//     key to a slice, immediately followed by a sort of that slice —
+//     the canonical way to obtain sorted keys;
+//   - loops annotated with //parm:orderfree (on the `for` line or the line
+//     above), asserting the body is order-insensitive: it commutes for any
+//     iteration order (pure aggregation such as sum/max, or per-key writes
+//     to disjoint locations).
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parm/internal/analysis"
+)
+
+// Analyzer flags nondeterministic map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags range over a map unless the keys are collected and sorted " +
+		"or the loop is annotated //parm:orderfree",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Walk statement lists so each range statement can see its
+			// following sibling (the sort call of the idiom).
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if pass.Suppressed(f, rs.Pos(), "orderfree") {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(list) {
+					next = list[i+1]
+				}
+				if isCollectThenSort(pass, rs, next) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "range over map %s has nondeterministic order; "+
+					"iterate sorted keys or annotate //parm:orderfree", types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectThenSort reports whether rs is the key-collection half of the
+// sorted-iteration idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys) // or sort.Sort/Slice/SliceStable/Strings, slices.Sort*
+//
+// The loop must bind only the key, its body must be the single append shown,
+// and the next statement must sort the same slice.
+func isCollectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, next ast.Stmt) bool {
+	if rs.Value != nil || rs.Key == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || src.Name != dst.Name {
+		return false
+	}
+	if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != key.Name {
+		return false
+	}
+	// The statement after the loop must sort the collected slice.
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok || len(sortCall.Args) == 0 {
+		return false
+	}
+	sel, ok := sortCall.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); !ok ||
+		(obj.Imported().Path() != "sort" && obj.Imported().Path() != "slices") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Ints", "Strings", "Float64s", "Sort", "Slice", "SliceStable", "SortFunc", "SortStableFunc":
+	default:
+		return false
+	}
+	sorted, ok := sortCall.Args[0].(*ast.Ident)
+	return ok && sorted.Name == dst.Name
+}

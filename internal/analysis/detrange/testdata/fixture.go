@@ -1,0 +1,96 @@
+// Package fixture exercises the detrange analyzer: map ranges must either
+// fire, match the collect-then-sort idiom, or be annotated order-free.
+package fixture
+
+import "sort"
+
+// sumValues ranges a map directly: fires.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m has nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the canonical collect-then-sort idiom: no report.
+func sortedKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collectNoSort collects keys but never sorts them: fires.
+func collectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want `range over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortOtherSlice sorts a different slice than the one collected: fires.
+func sortOtherSlice(m map[int]bool, other []int) []int {
+	var keys []int
+	for k := range m { // want `range over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	sort.Ints(other)
+	return keys
+}
+
+// annotatedMax is order-insensitive aggregation, asserted by directive.
+func annotatedMax(m map[int]int) int {
+	best := 0
+	//parm:orderfree
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// trailingDirective suppresses on the same line as the for statement.
+func trailingDirective(m map[int]int) int {
+	n := 0
+	for range m { //parm:orderfree
+		n++
+	}
+	return n
+}
+
+// overSlice ranges a slice: maps only, no report.
+func overSlice(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// namedMapType fires through a named map type.
+type registry map[string]int
+
+func overNamed(r registry) int {
+	s := 0
+	for _, v := range r { // want `range over map r has nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+// inSwitch covers statement lists that are not block statements.
+func inSwitch(m map[int]int, mode int) int {
+	s := 0
+	switch mode {
+	case 1:
+		for _, v := range m { // want `range over map m has nondeterministic order`
+			s += v
+		}
+	}
+	return s
+}

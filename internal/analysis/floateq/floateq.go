@@ -1,0 +1,69 @@
+// Package floateq flags == and != between floating-point operands.
+// Exact float equality is almost always a bug in numerical code — values
+// that are mathematically equal differ after independent rounding — and the
+// few deliberate uses in this repository (bit-exact memo-key comparison,
+// the solve-cache contract) must be explicit.
+//
+// Two forms are accepted without a report:
+//
+//   - comparison against an exact zero constant: zero is exactly
+//     representable, and `x == 0` sentinel/empty checks are idiomatic;
+//   - comparisons annotated //parm:floateq (same line or the line above),
+//     the marker for approved bit-exact equality helpers.
+//
+// Ordering comparisons (<, <=, >, >=) are never flagged.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"parm/internal/analysis"
+)
+
+// Analyzer flags exact floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on floating-point operands outside approved bit-exact " +
+		"helpers (//parm:floateq) and zero checks",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.TypesInfo.Types[be.X]
+			yt, yok := pass.TypesInfo.Types[be.Y]
+			if !xok || !yok || !analysis.IsFloat(xt.Type) || !analysis.IsFloat(yt.Type) {
+				return true
+			}
+			if isZero(xt.Value) || isZero(yt.Value) {
+				return true
+			}
+			if pass.Suppressed(f, be.OpPos, "floateq") {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact floating-point %s comparison; use an epsilon "+
+				"helper, restructure as an ordering, or annotate //parm:floateq", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isZero reports whether v is a numeric constant exactly equal to zero.
+func isZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+// Package fixture exercises the floateq analyzer: exact float equality
+// fires unless it is a zero check or an approved bit-exact helper.
+package fixture
+
+// equal compares floats exactly: fires.
+func equal(a, b float64) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+// notEqual fires for != too.
+func notEqual(a, b float64) bool {
+	return a != b // want `exact floating-point != comparison`
+}
+
+// constCompare fires against a nonzero constant.
+func constCompare(a float64) bool {
+	return a == 0.05 // want `exact floating-point == comparison`
+}
+
+// zeroCheck is idiomatic and exact: no report.
+func zeroCheck(a float64) bool {
+	return a == 0
+}
+
+// zeroNeq is the not-set sentinel test: no report.
+func zeroNeq(a float64) bool {
+	return a != 0.0
+}
+
+// ordering comparisons are never flagged.
+func ordering(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// intEqual is not floating point: no report.
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+// bitExactEqual is an approved memo-key helper: suppressed per comparison.
+func bitExactEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//parm:floateq
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// trailing suppresses on the comparison's own line.
+func trailing(a, b float64) bool {
+	return a == b //parm:floateq
+}
+
+// float32Equal fires for any float kind.
+func float32Equal(a, b float32) bool {
+	return a == b // want `exact floating-point == comparison`
+}

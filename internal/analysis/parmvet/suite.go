@@ -1,0 +1,69 @@
+// Package parmvet assembles the project's analyzer suite and scopes each
+// analyzer to the packages whose invariants it guards (DESIGN.md §7):
+//
+//   - detrange and poolgo police the deterministic simulation pipeline
+//     (core, chip, pdn, noc, mapping, sched);
+//   - unitsafe polices the electrical boundaries (pdn, power, chip);
+//   - floateq polices every internal package.
+//
+// cmd/parmvet is a thin wrapper around Check; the analysis driver test runs
+// the same suite over ./... so `go test` alone keeps the repository green
+// under its own linter.
+package parmvet
+
+import (
+	"strings"
+
+	"parm/internal/analysis/detrange"
+	"parm/internal/analysis/driver"
+	"parm/internal/analysis/floateq"
+	"parm/internal/analysis/poolgo"
+	"parm/internal/analysis/unitsafe"
+)
+
+// simulationPackages hold the deterministic measurement pipeline.
+var simulationPackages = []string{
+	"parm/internal/core",
+	"parm/internal/chip",
+	"parm/internal/pdn",
+	"parm/internal/noc",
+	"parm/internal/mapping",
+	"parm/internal/sched",
+}
+
+// electricalPackages carry physical quantities across exported boundaries.
+var electricalPackages = []string{
+	"parm/internal/pdn",
+	"parm/internal/power",
+	"parm/internal/chip",
+}
+
+func matchAny(paths []string) func(string) bool {
+	return func(p string) bool {
+		for _, want := range paths {
+			if p == want {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func matchPrefix(prefix string) func(string) bool {
+	return func(p string) bool { return strings.HasPrefix(p, prefix) }
+}
+
+// Rules returns the suite with its package scoping.
+func Rules() []driver.Rule {
+	return []driver.Rule{
+		{Analyzer: detrange.Analyzer, Match: matchAny(simulationPackages)},
+		{Analyzer: poolgo.Analyzer, Match: matchAny(simulationPackages)},
+		{Analyzer: unitsafe.Analyzer, Match: matchAny(electricalPackages)},
+		{Analyzer: floateq.Analyzer, Match: matchPrefix("parm/internal/")},
+	}
+}
+
+// Check runs the suite over the packages named by patterns.
+func Check(patterns []string) ([]driver.Finding, error) {
+	return driver.Run(patterns, Rules())
+}

@@ -1,0 +1,24 @@
+package parmvet_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/parmvet"
+)
+
+// TestRepositoryIsClean runs the full parmvet suite over the module —
+// the same invocation as `go run ./cmd/parmvet ./...` — and fails on any
+// finding, so plain `go test ./...` keeps the repository green under its
+// own linter.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := parmvet.Check([]string{"parm/..."})
+	if err != nil {
+		t.Fatalf("parmvet: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

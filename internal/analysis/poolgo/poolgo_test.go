@@ -1,0 +1,12 @@
+package poolgo_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/poolgo"
+)
+
+func TestPoolgo(t *testing.T) {
+	analysistest.Run(t, "testdata", poolgo.Analyzer)
+}

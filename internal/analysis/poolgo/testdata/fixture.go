@@ -1,0 +1,61 @@
+// Package fixture exercises the poolgo analyzer: goroutines outside
+// sanctioned pools fire, as does WaitGroup.Add inside the spawned body.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// bare spawns ad hoc: fires.
+func bare() {
+	go work() // want `bare go statement bypasses the bounded worker pools`
+}
+
+// boundedPool is the sanctioned shape: Add before spawn, directive on the
+// go statement. No report.
+func boundedPool(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		//parm:pool
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// addInsidePool is sanctioned but still races: Add fires.
+func addInsidePool() {
+	var wg sync.WaitGroup
+	//parm:pool
+	go func() {
+		wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine races with Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// addInsideBare fires twice: bare spawn and misplaced Add.
+func addInsideBare() {
+	wg := &sync.WaitGroup{}
+	go func() { // want `bare go statement bypasses the bounded worker pools`
+		wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine races with Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// otherAdd is not a WaitGroup: no Add report (the spawn still fires).
+type counter struct{}
+
+func (counter) Add(int) {}
+
+func otherAdd() {
+	var c counter
+	go func() { // want `bare go statement bypasses the bounded worker pools`
+		c.Add(1)
+	}()
+}

@@ -1,0 +1,115 @@
+// Package unitsafe flags exported API boundaries that pass physical
+// quantities as bare float64. The electrical packages (power, pdn, chip)
+// define named unit types — power.Volts, power.Watts, power.Seconds — so
+// that a voltage cannot be handed to a watts parameter; this analyzer keeps
+// new exported signatures from regressing to untyped floats.
+//
+// A parameter or exported struct field is considered a physical quantity
+// when its name matches a unit vocabulary (vdd/volt..., watt/power-as-watts,
+// dt/duration/seconds); it must then be declared with a named unit type,
+// not float64 (or []float64). Intentional bare floats — e.g. a fraction of
+// Vdd rather than an absolute voltage — are annotated //parm:unitless.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"parm/internal/analysis"
+)
+
+// Analyzer flags unit-suggesting names declared as bare float64.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc: "flags exported functions and struct fields that pass physical " +
+		"quantities (volts, watts, seconds) as bare float64",
+	Run: run,
+}
+
+// unitFor returns the unit type a name's vocabulary demands, or "" when the
+// name suggests no physical quantity.
+func unitFor(name string) string {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "vdd"), strings.Contains(n, "volt"):
+		return "power.Volts"
+	case strings.Contains(n, "watt"):
+		return "power.Watts"
+	case n == "dt", strings.Contains(n, "duration"), strings.Contains(n, "seconds"):
+		return "power.Seconds"
+	}
+	return ""
+}
+
+// isBareFloat reports whether t is the predeclared float64 (directly, or as
+// slice/array/pointer element), rather than a named unit type.
+func isBareFloat(t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Basic:
+		return tt.Kind() == types.Float64
+	case *types.Slice:
+		return isBareFloat(tt.Elem())
+	case *types.Array:
+		return isBareFloat(tt.Elem())
+	case *types.Pointer:
+		return isBareFloat(tt.Elem())
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Type.Params == nil {
+					return true
+				}
+				for _, field := range d.Type.Params.List {
+					checkField(pass, f, d.Name.Name, field)
+				}
+				return true
+			case *ast.TypeSpec:
+				st, ok := d.Type.(*ast.StructType)
+				if !ok || !d.Name.IsExported() {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					exported := false
+					for _, name := range field.Names {
+						if name.IsExported() {
+							exported = true
+						}
+					}
+					if exported {
+						checkField(pass, f, d.Name.Name, field)
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkField reports every name of field that demands a unit type while the
+// field is declared bare float64.
+func checkField(pass *analysis.Pass, f *ast.File, owner string, field *ast.Field) {
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok || !isBareFloat(tv.Type) {
+		return
+	}
+	for _, name := range field.Names {
+		unit := unitFor(name.Name)
+		if unit == "" {
+			continue
+		}
+		if pass.Suppressed(f, name.Pos(), "unitless") {
+			continue
+		}
+		pass.Reportf(name.Pos(), "%s: parameter or field %q carries a physical quantity "+
+			"as bare float64; use %s (or annotate //parm:unitless)", owner, name.Name, unit)
+	}
+}

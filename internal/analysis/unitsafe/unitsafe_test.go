@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/unitsafe"
+)
+
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafe.Analyzer)
+}

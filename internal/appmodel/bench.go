@@ -162,7 +162,10 @@ const (
 )
 
 // seededRand returns a deterministic RNG for the given benchmark name and
-// stream label, so profile generation is reproducible across runs.
+// stream label, so profile generation is reproducible across runs. Every
+// call constructs a fresh *rand.Rand — never the global math/rand source —
+// so concurrent profile generation (the expr worker pool builds graphs from
+// many goroutines) is race-free without locking.
 func seededRand(name, stream string) *rand.Rand {
 	h := fnv.New64a()
 	h.Write([]byte(name))

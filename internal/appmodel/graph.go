@@ -48,8 +48,11 @@ func (g *APG) EdgesBySortedVolume() []Edge {
 	out := make([]Edge, len(g.Edges))
 	copy(out, g.Edges)
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Volume != out[j].Volume {
-			return out[i].Volume > out[j].Volume
+		if out[i].Volume > out[j].Volume {
+			return true
+		}
+		if out[i].Volume < out[j].Volume {
+			return false
 		}
 		if out[i].Src != out[j].Src {
 			return out[i].Src < out[j].Src

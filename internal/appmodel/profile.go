@@ -146,7 +146,7 @@ var wcetCache sync.Map // key wcetKey -> float64
 type wcetKey struct {
 	bench string
 	node  power.Node
-	vdd   float64
+	vdd   power.Volts
 	dop   int
 }
 
@@ -155,7 +155,7 @@ type wcetKey struct {
 // Algorithm 1, line 5): the SPMD makespan estimate with profile-time
 // communication throughput. It returns +Inf when vdd cannot clock the core
 // (at or below threshold).
-func (b Benchmark) WCETEstimate(p power.NodeParams, vdd float64, dop int) float64 {
+func (b Benchmark) WCETEstimate(p power.NodeParams, vdd power.Volts, dop int) float64 {
 	key := wcetKey{bench: b.Name, node: p.Node, vdd: vdd, dop: dop}
 	if v, ok := wcetCache.Load(key); ok {
 		return v.(float64)
@@ -171,13 +171,13 @@ func (b Benchmark) WCETEstimate(p power.NodeParams, vdd float64, dop int) float6
 	return est
 }
 
-// PowerEstimate returns the profiled total power in watts of benchmark b
-// mapped at vdd with parallelism dop: the sum of its tasks' tile powers
-// (paper Algorithm 2, line 1 input).
-func (b Benchmark) PowerEstimate(p power.NodeParams, vdd float64, dop int) float64 {
+// PowerEstimate returns the profiled total power of benchmark b mapped at
+// vdd with parallelism dop: the sum of its tasks' tile powers (paper
+// Algorithm 2, line 1 input).
+func (b Benchmark) PowerEstimate(p power.NodeParams, vdd power.Volts, dop int) power.Watts {
 	g := b.Graph(dop)
 	ru := routerUtilEstimate(b.Kind)
-	total := 0.0
+	total := power.Watts(0)
 	for _, t := range g.Tasks {
 		total += p.TilePower(vdd, ActivityFactor(t.Activity), ru)
 	}

@@ -50,6 +50,10 @@ type WorkloadConfig struct {
 	DeadlineSlack float64
 	// Seed makes the sequence reproducible.
 	Seed int64
+	// Rand, when non-nil, supplies the random stream instead of Seed. The
+	// caller owns its synchronization; Generate consumes it single-threaded.
+	// Passing rand.New(rand.NewSource(s)) is equivalent to Seed: s.
+	Rand *rand.Rand
 }
 
 // Workload is a deterministic sequence of application arrivals.
@@ -74,7 +78,10 @@ func Generate(cfg WorkloadConfig) (*Workload, error) {
 	if slack <= 0 {
 		slack = 0.95
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 
 	var pool []Benchmark
 	switch cfg.Kind {

@@ -1,6 +1,9 @@
 package appmodel
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestGenerateBasics(t *testing.T) {
 	w, err := Generate(WorkloadConfig{
@@ -42,6 +45,49 @@ func TestGenerateDeterministic(t *testing.T) {
 		if a.Bench.Name != b.Bench.Name || a.Arrival != b.Arrival || a.RelDeadline != b.RelDeadline {
 			t.Fatalf("app %d differs between identical seeds", i)
 		}
+	}
+}
+
+// An injected Rand seeded with s must reproduce Seed: s exactly, and must
+// take precedence over any Seed also set — the injection contract callers
+// rely on to share one stream across several generators.
+func TestGenerateInjectedRand(t *testing.T) {
+	base := WorkloadConfig{Kind: WorkloadMixed, NumApps: 15, ArrivalGap: 0.1, Node: np7(), Seed: 11}
+	bySeed, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injected := base
+	injected.Seed = 999 // must be ignored when Rand is set
+	injected.Rand = rand.New(rand.NewSource(11))
+	byRand, err := Generate(injected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bySeed.Apps {
+		a, b := bySeed.Apps[i], byRand.Apps[i]
+		if a.Bench.Name != b.Bench.Name || a.Arrival != b.Arrival || a.RelDeadline != b.RelDeadline {
+			t.Fatalf("app %d: injected rand(11) diverges from Seed: 11", i)
+		}
+	}
+
+	// The stream advances: a second workload drawn from the same injected
+	// Rand must differ from the first (fresh draws, not a reset).
+	again := base
+	again.Rand = injected.Rand
+	w2, err := Generate(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range bySeed.Apps {
+		if bySeed.Apps[i].Bench.Name != w2.Apps[i].Bench.Name || bySeed.Apps[i].Arrival != w2.Apps[i].Arrival {
+			same = false
+		}
+	}
+	if same {
+		t.Error("second workload from a shared Rand repeated the first; stream did not advance")
 	}
 }
 

@@ -32,7 +32,7 @@ type Domain struct {
 	// Tiles lists the four member tiles in pdn slot order.
 	Tiles [pdn.DomainTiles]geom.TileID
 	// Vdd is the regulator output; meaningful only when occupied.
-	Vdd float64
+	Vdd power.Volts
 	// App is the occupying application ID, or NoApp.
 	App int
 }
@@ -67,10 +67,10 @@ type Config struct {
 	// Node supplies the technology-node electrical constants. A zero value
 	// selects 7nm.
 	Node power.NodeParams
-	// DsPB is the dark-silicon power budget in watts. Zero selects 65 W.
-	DsPB float64
+	// DsPB is the dark-silicon power budget. Zero selects 65 W.
+	DsPB power.Watts
 	// VddStep is the supply voltage granularity. Zero selects 0.1 V.
-	VddStep float64
+	VddStep power.Volts
 	// PSNWorkers bounds the worker pool SamplePSN fans the per-domain
 	// transient solves out over. Zero selects GOMAXPROCS; 1 forces the
 	// serial reference path. Results are bit-identical for any value.
@@ -104,7 +104,7 @@ type Chip struct {
 	// Budget is the dark-silicon power budget ledger.
 	Budget *power.Budget
 	// Vdds lists the permissible supply voltages in increasing order.
-	Vdds []float64
+	Vdds []power.Volts
 
 	domains    []Domain
 	tileDomain []DomainID
@@ -210,7 +210,7 @@ func (c *Chip) Occupant(t geom.TileID) Occupant { return c.occupants[t] }
 
 // AssignDomain marks domain d as owned by app at the given Vdd. It returns
 // an error if the domain is already occupied.
-func (c *Chip) AssignDomain(d DomainID, app int, vdd float64) error {
+func (c *Chip) AssignDomain(d DomainID, app int, vdd power.Volts) error {
 	dom := &c.domains[d]
 	if dom.Occupied() {
 		return fmt.Errorf("chip: domain %d already occupied by app %d", d, dom.App)

@@ -137,6 +137,10 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 		next.Store(-1)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			// This is the sanctioned bounded pool the poolgo analyzer steers
+			// everything else toward: Add precedes the spawn, the pool size is
+			// capped by Config.PSNWorkers, and aggregation is order-independent.
+			//parm:pool
 			go func() {
 				defer wg.Done()
 				solver := c.solverPool.Get().(*pdn.Solver)

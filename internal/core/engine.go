@@ -10,6 +10,7 @@ import (
 	"parm/internal/mapping"
 	"parm/internal/noc"
 	"parm/internal/pdn"
+	"parm/internal/power"
 	"parm/internal/sched"
 )
 
@@ -88,8 +89,11 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+	if h[i].t < h[j].t {
+		return true
+	}
+	if h[i].t > h[j].t {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }
@@ -108,10 +112,10 @@ type runningApp struct {
 	app       *appmodel.App
 	graph     *appmodel.APG
 	placement *mapping.Placement
-	vdd       float64
+	vdd       power.Volts
 	dop       int
 	freq      float64
-	power     float64
+	power     power.Watts
 	flows     []noc.Flow
 	// flowEdges parallels flows with the APG edge each flow realizes.
 	flowEdges []appmodel.Edge
@@ -353,10 +357,10 @@ const (
 // in increasing order and DoP in decreasing order (Algorithm 1 lines 1-4);
 // the HM baseline fixes DoP (and optionally Vdd) and only scales voltage to
 // meet the deadline.
-func (e *Engine) vddDoPLists() (vdds []float64, dops []int) {
+func (e *Engine) vddDoPLists() (vdds []power.Volts, dops []int) {
 	vdds = e.chip.Vdds
 	if e.fw.HighVddFirst {
-		rev := make([]float64, len(vdds))
+		rev := make([]power.Volts, len(vdds))
 		for i, v := range vdds {
 			rev[len(vdds)-1-i] = v
 		}
@@ -371,7 +375,7 @@ func (e *Engine) vddDoPLists() (vdds []float64, dops []int) {
 	}
 	dops = []int{e.fw.FixedDoP}
 	if e.fw.FixedVdd > 0 {
-		vdds = []float64{e.fw.FixedVdd}
+		vdds = []power.Volts{e.fw.FixedVdd}
 	}
 	return vdds, dops
 }
@@ -402,7 +406,7 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 	}
 
 	feasible := false
-	bestVdd, bestDoP, bestWCET := 0.0, 0, inf
+	bestVdd, bestDoP, bestWCET := power.Volts(0), 0, inf
 	for _, vdd := range vdds {
 		minWCET := inf // per-Vdd WCET minimum seen so far in the DoP scan
 		for _, dop := range dops {
@@ -455,16 +459,16 @@ const inf = 1e308
 
 // tryMapAt attempts to admit the app at one (Vdd, DoP) point: dark-silicon
 // power check (Algorithm 2 line 1), then the framework's mapping heuristic.
-func (e *Engine) tryMapAt(app *appmodel.App, vdd float64, dop int, wcet float64) (bool, error) {
-	power := app.Bench.PowerEstimate(e.chip.Node, vdd, dop)
-	if power > e.chip.Budget.Available() {
+func (e *Engine) tryMapAt(app *appmodel.App, vdd power.Volts, dop int, wcet float64) (bool, error) {
+	pw := app.Bench.PowerEstimate(e.chip.Node, vdd, dop)
+	if pw > e.chip.Budget.Available() {
 		return false, nil
 	}
 	placement, ok := e.fw.Mapper.Map(e.chip, app.Graph(dop))
 	if !ok {
 		return false, nil
 	}
-	if err := e.commit(app, vdd, dop, placement, power, wcet); err != nil {
+	if err := e.commit(app, vdd, dop, placement, pw, wcet); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -473,8 +477,8 @@ func (e *Engine) tryMapAt(app *appmodel.App, vdd float64, dop int, wcet float64)
 // commit maps the application: reserves power, claims domains and tiles,
 // measures the NoC with the new flow set, schedules the completion event,
 // and takes the map-event PSN sample.
-func (e *Engine) commit(app *appmodel.App, vdd float64, dop int, p *mapping.Placement, power, wcet float64) error {
-	if !e.chip.Budget.Reserve(power) {
+func (e *Engine) commit(app *appmodel.App, vdd power.Volts, dop int, p *mapping.Placement, pw power.Watts, wcet float64) error {
+	if !e.chip.Budget.Reserve(pw) {
 		return fmt.Errorf("core: budget reservation raced for %s", app)
 	}
 	for _, d := range p.Domains {
@@ -483,8 +487,15 @@ func (e *Engine) commit(app *appmodel.App, vdd float64, dop int, p *mapping.Plac
 		}
 	}
 	g := app.Graph(dop)
-	for task, tile := range p.TaskTile {
-		if err := e.chip.PlaceTask(tile, app.ID, int(task), g.Tasks[task].Activity); err != nil {
+	// Walk the placement in task order, not map order: PlaceTask errors must
+	// surface identically on every run (bit-identical metrics contract).
+	tasks := make([]appmodel.TaskID, 0, len(p.TaskTile))
+	for task := range p.TaskTile {
+		tasks = append(tasks, task)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	for _, task := range tasks {
+		if err := e.chip.PlaceTask(p.TaskTile[task], app.ID, int(task), g.Tasks[task].Activity); err != nil {
 			return err
 		}
 	}
@@ -496,7 +507,7 @@ func (e *Engine) commit(app *appmodel.App, vdd float64, dop int, p *mapping.Plac
 		vdd:       vdd,
 		dop:       dop,
 		freq:      e.chip.Node.Frequency(vdd),
-		power:     power,
+		power:     pw,
 		mappedAt:  e.now,
 	}
 	// Build the app's NoC flows: one per APG edge between distinct tiles,
@@ -553,7 +564,7 @@ func (e *Engine) complete(ra *runningApp) error {
 	o.State = StateCompleted
 	o.CompletedAt = e.now
 	o.VEs = ra.ves
-	o.EnergyJ = ra.power * (e.now - ra.mappedAt)
+	o.EnergyJ = float64(ra.power) * (e.now - ra.mappedAt)
 	o.DeadlineMet = e.now <= ra.app.AbsDeadline()+1e-9
 	if e.now > e.metrics.TotalTime {
 		e.metrics.TotalTime = e.now
@@ -607,12 +618,15 @@ func flowsEqual(a, b []noc.Flow) bool {
 	return true
 }
 
-// floatsEqual reports whether two float slices are bit-wise identical.
+// floatsEqual reports whether two float slices are bit-wise identical. This
+// is a memo-key comparison, not a numeric tolerance check: the NoC memo must
+// only hit when the sensor environment recurs exactly.
 func floatsEqual(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
+		//parm:floateq
 		if a[i] != b[i] {
 			return false
 		}

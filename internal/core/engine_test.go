@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -162,7 +163,7 @@ func TestResourcesRestoredAfterRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := eng.Chip()
-	if used := c.Budget.Used(); math.Abs(used) > 1e-9 {
+	if used := c.Budget.Used(); math.Abs(float64(used)) > 1e-9 {
 		t.Errorf("budget still holds %g W", used)
 	}
 	if free := len(c.FreeDomains()); free != c.NumDomains() {
@@ -186,6 +187,35 @@ func TestEngineDeterministic(t *testing.T) {
 		if a.Vdd != b.Vdd || a.DoP != b.DoP || a.CompletedAt != b.CompletedAt {
 			t.Errorf("app %d differs", i)
 		}
+	}
+}
+
+// Byte-identical determinism: the fully serialized metrics of repeated
+// identical runs must match byte for byte, including across PSN worker
+// counts — the contract the sorted-iteration discipline (and the detrange
+// and poolgo analyzers that enforce it) protects. Stricter than
+// TestEngineDeterministic: every field of every outcome is covered.
+func TestEngineRunsByteIdentical(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := Config{}
+		cfg.Chip.PSNWorkers = workers
+		w := genWorkload(t, appmodel.WorkloadMixed, 6, 0.06, 14)
+		m := runOne(t, cfg, MustCombo("PARM", "PANR"), w)
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("empty metrics JSON")
+	}
+	if rerun := run(1); !bytes.Equal(rerun, base) {
+		t.Error("two serial runs diverged")
+	}
+	if parallel := run(4); !bytes.Equal(parallel, base) {
+		t.Error("4-worker run diverged from the serial reference")
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"parm/internal/appmodel"
+	"parm/internal/power"
 )
 
 // SelectionStep records one (Vdd, DoP) combination considered by
@@ -9,7 +10,7 @@ import (
 // feasibility (line 6), dark-silicon power (Algorithm 2 line 1), and
 // mapping-region availability (lines 10-11).
 type SelectionStep struct {
-	Vdd  float64
+	Vdd  power.Volts
 	DoP  int
 	WCET float64
 	// DeadlineOK is the line-6 check against the remaining deadline.
@@ -18,7 +19,7 @@ type SelectionStep struct {
 	// deadline failure it jumps to the next voltage).
 	Skipped bool
 	// PowerW is the estimated application power; PowerOK the DsPB check.
-	PowerW  float64
+	PowerW  power.Watts
 	PowerOK bool
 	// MappingTried reports whether the mapper was invoked (Algorithm 1
 	// stops at the first success, so later combinations are not tried);

@@ -11,6 +11,7 @@ import (
 
 	"parm/internal/mapping"
 	"parm/internal/noc"
+	"parm/internal/power"
 )
 
 // Framework is one evaluated combination of mapping scheme, voltage/DoP
@@ -32,7 +33,7 @@ type Framework struct {
 	FixedDoP int
 	// FixedVdd is the supply voltage used when AdaptiveVddDoP is false.
 	// Zero selects the node's nominal voltage.
-	FixedVdd float64
+	FixedVdd power.Volts
 	// HighVddFirst reverses Algorithm 1's voltage search order — the
 	// ablation that shows why lowest-Vdd-first matters for PSN and power
 	// (DESIGN.md §5).

@@ -55,7 +55,7 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 			ID:          o.App.ID,
 			Bench:       o.App.Bench.Name,
 			State:       o.State.String(),
-			Vdd:         o.Vdd,
+			Vdd:         float64(o.Vdd),
 			DoP:         o.DoP,
 			WaitS:       o.WaitTime,
 			VEs:         o.VEs,

@@ -1,6 +1,9 @@
 package core
 
-import "parm/internal/appmodel"
+import (
+	"parm/internal/appmodel"
+	"parm/internal/power"
+)
 
 // AppState is the final disposition of an application.
 type AppState int
@@ -34,7 +37,7 @@ type AppOutcome struct {
 	State AppState
 	// Vdd and DoP are the operating point chosen at mapping (zero when
 	// never mapped).
-	Vdd float64
+	Vdd power.Volts
 	DoP int
 	// MappedAt and CompletedAt are absolute times in seconds.
 	MappedAt, CompletedAt float64

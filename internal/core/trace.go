@@ -91,7 +91,7 @@ func (e *Engine) recordTrace(chipPeak, activeAvg float64, domainPeak []float64) 
 		ActiveAvg:  activeAvg,
 		Running:    len(e.running),
 		Queued:     len(e.queue),
-		BudgetUsed: e.chip.Budget.Used(),
+		BudgetUsed: float64(e.chip.Budget.Used()),
 		DomainPeak: dp,
 	})
 }

@@ -45,7 +45,7 @@ func (o Options) withDefaults() Options {
 
 // highLoads builds a domain fully loaded with High-activity tasks at vdd,
 // unmanaged (aligned phases): the stress pattern behind Figs. 1 and 3a.
-func highLoads(p power.NodeParams, vdd float64, staggered bool) [pdn.DomainTiles]pdn.TileLoad {
+func highLoads(p power.NodeParams, vdd power.Volts, staggered bool) [pdn.DomainTiles]pdn.TileLoad {
 	var occ [pdn.DomainTiles]pdn.TileOccupant
 	for i := range occ {
 		occ[i] = pdn.TileOccupant{
@@ -59,7 +59,7 @@ func highLoads(p power.NodeParams, vdd float64, staggered bool) [pdn.DomainTiles
 
 // commLoads builds a communication-intensive domain: lower core activity
 // but high router utilization.
-func commLoads(p power.NodeParams, vdd float64) [pdn.DomainTiles]pdn.TileLoad {
+func commLoads(p power.NodeParams, vdd power.Volts) [pdn.DomainTiles]pdn.TileLoad {
 	var occ [pdn.DomainTiles]pdn.TileOccupant
 	for i := range occ {
 		class := pdn.Low

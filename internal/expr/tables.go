@@ -2,6 +2,7 @@ package expr
 
 import (
 	"parm/internal/appmodel"
+	"parm/internal/pdn"
 	"parm/internal/power"
 	"parm/internal/report"
 )
@@ -38,7 +39,7 @@ func BenchmarkProfileTable() *report.Table {
 		g := b.Graph(32)
 		high := 0
 		for _, task := range g.Tasks {
-			if appmodel.ActivityFactor(task.Activity) == appmodel.HighCoreActivity {
+			if task.Activity == pdn.High {
 				high++
 			}
 		}

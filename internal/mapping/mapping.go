@@ -62,6 +62,9 @@ func (p *Placement) Validate(c *chip.Chip, g *appmodel.APG) error {
 		}
 	}
 	seen := map[geom.TileID]bool{}
+	// Order only decides which of several violations is reported first; the
+	// accept/reject verdict is order-independent.
+	//parm:orderfree
 	for task, tile := range p.TaskTile {
 		if task < 0 || int(task) >= g.NumTasks() {
 			return fmt.Errorf("mapping: unknown task %d", task)

@@ -69,12 +69,12 @@ type TileLoad struct {
 type Config struct {
 	// Params supplies the per-technology-node electrical constants.
 	Params power.NodeParams
-	// Vdd is the regulator output voltage in volts.
-	Vdd float64
-	// Dt is the integration step in seconds. Zero selects 10 ps.
-	Dt float64
-	// Duration is the simulated window in seconds. Zero selects 80 ns.
-	Duration float64
+	// Vdd is the regulator output voltage.
+	Vdd power.Volts
+	// Dt is the integration step. Zero selects 10 ps.
+	Dt power.Seconds
+	// Duration is the simulated window. Zero selects 80 ns.
+	Duration power.Seconds
 	// BurstHz is the fundamental frequency of the workload switching
 	// waveform. Zero selects 125 MHz, near the package LC resonance where
 	// droop is worst.
@@ -101,8 +101,8 @@ type Result struct {
 	PeakPSN [DomainTiles]float64
 	// AvgPSN is the time-averaged supply droop per tile.
 	AvgPSN [DomainTiles]float64
-	// MinVoltage is the lowest instantaneous voltage per tile in volts.
-	MinVoltage [DomainTiles]float64
+	// MinVoltage is the lowest instantaneous voltage per tile.
+	MinVoltage [DomainTiles]power.Volts
 	// Steps is the number of integration steps taken.
 	Steps int
 }
@@ -150,7 +150,7 @@ func newCircuit(cfg Config, loads [DomainTiles]TileLoad) circuit {
 		rv:      p.RGrid * 1.5,
 		rg:      p.RGrid,
 		cd:      p.CDecap,
-		vs:      cfg.Vdd,
+		vs:      float64(cfg.Vdd),
 		gv:      1 / (p.RGrid * 1.5),
 		gg:      1 / p.RGrid,
 		loads:   loads,
@@ -332,7 +332,7 @@ func (c *circuit) dcOperatingPoint() (state, error) {
 // values, out-of-range loads). cfg must already have defaults applied.
 func validate(cfg Config, loads [DomainTiles]TileLoad) error {
 	if cfg.Vdd <= 0 {
-		return fmt.Errorf("pdn: non-positive Vdd %g", cfg.Vdd)
+		return fmt.Errorf("pdn: non-positive Vdd %g", float64(cfg.Vdd))
 	}
 	p := cfg.Params
 	if p.RBump <= 0 || p.LBump <= 0 || p.RGrid <= 0 || p.CDecap <= 0 {
@@ -371,6 +371,7 @@ func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *[DomainTiles][]f
 		return Result{}, err
 	}
 
+	vdd := float64(cfg.Vdd)
 	var res Result
 	for i := range res.MinVoltage {
 		res.MinVoltage[i] = cfg.Vdd
@@ -385,7 +386,7 @@ func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *[DomainTiles][]f
 	var sumPSN [DomainTiles]float64
 	recorded := 0
 
-	h := cfg.Dt
+	h := float64(cfg.Dt)
 	table := c.currentTable(h, steps, scratch)
 	var cur0, curH, cur1 [DomainTiles]float64
 	for n := 0; n < steps; n++ {
@@ -410,10 +411,10 @@ func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *[DomainTiles][]f
 		recorded++
 		for i := range st.vt {
 			v := st.vt[i]
-			if v < res.MinVoltage[i] {
-				res.MinVoltage[i] = v
+			if power.Volts(v) < res.MinVoltage[i] {
+				res.MinVoltage[i] = power.Volts(v)
 			}
-			droop := (cfg.Vdd - v) / cfg.Vdd
+			droop := (vdd - v) / vdd
 			if droop < 0 {
 				droop = 0 // overshoot above Vdd is not supply droop
 			}

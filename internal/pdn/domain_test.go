@@ -10,7 +10,7 @@ import (
 
 func node7() power.NodeParams { return power.MustParams(power.Node7) }
 
-func highOcc(p power.NodeParams, vdd float64, staggered bool) [DomainTiles]TileOccupant {
+func highOcc(p power.NodeParams, vdd power.Volts, staggered bool) [DomainTiles]TileOccupant {
 	var occ [DomainTiles]TileOccupant
 	for i := range occ {
 		occ[i] = TileOccupant{IAvg: p.TileCurrent(vdd, 0.9, 0.4), Class: High, Staggered: staggered}
@@ -42,7 +42,7 @@ func TestSimulateDomainIdle(t *testing.T) {
 		t.Errorf("idle domain peak PSN = %g, want ~0", peak)
 	}
 	for i, v := range res.MinVoltage {
-		if math.Abs(v-0.5) > 1e-9 {
+		if math.Abs(float64(v)-0.5) > 1e-9 {
 			t.Errorf("idle tile %d min voltage %g, want 0.5", i, v)
 		}
 	}
@@ -85,7 +85,7 @@ func TestSimulateDomainBasicPhysics(t *testing.T) {
 			t.Errorf("tile %d min voltage %g out of range", i, res.MinVoltage[i])
 		}
 		// Peak PSN and min voltage must agree.
-		droop := (0.5 - res.MinVoltage[i]) / 0.5
+		droop := float64(0.5-res.MinVoltage[i]) / 0.5
 		if math.Abs(droop-res.PeakPSN[i]) > 1e-9 {
 			t.Errorf("tile %d droop %g != peak %g", i, droop, res.PeakPSN[i])
 		}
@@ -139,7 +139,7 @@ func TestPSNIncreasesWithTechScaling(t *testing.T) {
 // the PARM clustering heuristic).
 func TestStaggeringReducesPeak(t *testing.T) {
 	p := node7()
-	for _, v := range []float64{0.4, 0.6, 0.8} {
+	for _, v := range []power.Volts{0.4, 0.6, 0.8} {
 		aligned, err := SimulateDomain(Config{Params: p, Vdd: v}, BuildLoads(highOcc(p, v, false)))
 		if err != nil {
 			t.Fatal(err)
@@ -155,7 +155,7 @@ func TestStaggeringReducesPeak(t *testing.T) {
 	}
 }
 
-func pairOcc(p power.NodeParams, vdd float64, a, b Class, sa, sb int) [DomainTiles]TileOccupant {
+func pairOcc(p power.NodeParams, vdd power.Volts, a, b Class, sa, sb int) [DomainTiles]TileOccupant {
 	var occ [DomainTiles]TileOccupant
 	mk := func(c Class) TileOccupant {
 		act := 0.9
@@ -231,7 +231,7 @@ func TestDCOperatingPoint(t *testing.T) {
 	// Itotal*Rb + I*Rv.
 	wantDrop := 4*0.3*p.RBump + 0.3*p.RGrid*1.5
 	for i := 0; i < DomainTiles; i++ {
-		gotDrop := (0.5 - res.MinVoltage[i])
+		gotDrop := float64(0.5 - res.MinVoltage[i])
 		if math.Abs(gotDrop-wantDrop)/wantDrop > 0.02 {
 			t.Errorf("tile %d DC drop %g, want %g", i, gotDrop, wantDrop)
 		}

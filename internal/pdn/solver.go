@@ -50,9 +50,9 @@ func QuantizeLoads(loads [DomainTiles]TileLoad) [DomainTiles]TileLoad {
 // so the struct is directly usable as a map key.
 type solveKey struct {
 	params   power.NodeParams
-	vdd      float64
-	dt       float64
-	duration float64
+	vdd      power.Volts
+	dt       power.Seconds
+	duration power.Seconds
 	burstHz  float64
 	loads    [DomainTiles]TileLoad
 }

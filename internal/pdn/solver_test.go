@@ -8,7 +8,7 @@ import (
 	"parm/internal/power"
 )
 
-func solverLoads(p power.NodeParams, vdd float64) [DomainTiles]TileLoad {
+func solverLoads(p power.NodeParams, vdd power.Volts) [DomainTiles]TileLoad {
 	var occ [DomainTiles]TileOccupant
 	for i := range occ {
 		class := High
@@ -154,7 +154,7 @@ func TestSolverScratchIsolation(t *testing.T) {
 func TestSolveCacheConcurrent(t *testing.T) {
 	p := power.MustParams(power.Node7)
 	cache := NewSolveCache()
-	vdds := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	vdds := []power.Volts{0.4, 0.5, 0.6, 0.7, 0.8}
 	var wg sync.WaitGroup
 	results := make([][]Result, 8)
 	for w := 0; w < 8; w++ {

@@ -12,12 +12,12 @@ import (
 //
 // normalized so that f(VNominal) == FMax. Voltages at or below threshold
 // yield 0.
-func (p NodeParams) Frequency(vdd float64) float64 {
+func (p NodeParams) Frequency(vdd Volts) float64 {
 	if vdd <= p.VTh {
 		return 0
 	}
-	shape := func(v float64) float64 {
-		return math.Pow(v-p.VTh, p.Alpha) / v
+	shape := func(v Volts) float64 {
+		return math.Pow(float64(v-p.VTh), p.Alpha) / float64(v)
 	}
 	return p.FMax * shape(vdd) / shape(p.VNominal)
 }
@@ -25,40 +25,42 @@ func (p NodeParams) Frequency(vdd float64) float64 {
 // DynamicCorePower returns the dynamic power in watts of one core running at
 // vdd with the given switching activity factor in [0,1]. The core clock is
 // Frequency(vdd).
-func (p NodeParams) DynamicCorePower(vdd, activity float64) float64 {
-	return p.CEffCore * vdd * vdd * p.Frequency(vdd) * clamp01(activity)
+func (p NodeParams) DynamicCorePower(vdd Volts, activity float64) Watts {
+	v := float64(vdd)
+	return Watts(p.CEffCore * v * v * p.Frequency(vdd) * clamp01(activity))
 }
 
 // DynamicRouterPower returns the dynamic power in watts of one NoC router at
 // vdd with the given utilization (forwarded flits per cycle, per port,
 // averaged) in [0,1].
-func (p NodeParams) DynamicRouterPower(vdd, utilization float64) float64 {
-	return p.CEffRouter * vdd * vdd * p.Frequency(vdd) * clamp01(utilization)
+func (p NodeParams) DynamicRouterPower(vdd Volts, utilization float64) Watts {
+	v := float64(vdd)
+	return Watts(p.CEffRouter * v * v * p.Frequency(vdd) * clamp01(utilization))
 }
 
 // LeakagePower returns the leakage power in watts at vdd of a block whose
 // leakage current at VNominal is ileakNominal. Leakage current is modeled
 // with an exponential voltage dependence (DIBL), roughly halving for each
 // 0.15 V below nominal.
-func (p NodeParams) LeakagePower(vdd, ileakNominal float64) float64 {
+func (p NodeParams) LeakagePower(vdd Volts, ileakNominal float64) Watts {
 	const diblScale = 0.15 / math.Ln2
-	i := ileakNominal * math.Exp((vdd-p.VNominal)/diblScale)
-	return vdd * i
+	i := ileakNominal * math.Exp(float64(vdd-p.VNominal)/diblScale)
+	return Watts(float64(vdd) * i)
 }
 
 // CoreLeakage returns the core leakage power in watts at vdd.
-func (p NodeParams) CoreLeakage(vdd float64) float64 {
+func (p NodeParams) CoreLeakage(vdd Volts) Watts {
 	return p.LeakagePower(vdd, p.LeakCore)
 }
 
 // RouterLeakage returns the router leakage power in watts at vdd.
-func (p NodeParams) RouterLeakage(vdd float64) float64 {
+func (p NodeParams) RouterLeakage(vdd Volts) Watts {
 	return p.LeakagePower(vdd, p.LeakRouter)
 }
 
 // TilePower returns the total power in watts of one tile (core + router) at
 // vdd, given the core switching activity and router utilization factors.
-func (p NodeParams) TilePower(vdd, coreActivity, routerUtil float64) float64 {
+func (p NodeParams) TilePower(vdd Volts, coreActivity, routerUtil float64) Watts {
 	return p.DynamicCorePower(vdd, coreActivity) + p.CoreLeakage(vdd) +
 		p.DynamicRouterPower(vdd, routerUtil) + p.RouterLeakage(vdd)
 }
@@ -66,43 +68,43 @@ func (p NodeParams) TilePower(vdd, coreActivity, routerUtil float64) float64 {
 // TileCurrent returns the average supply current in amperes drawn by one
 // tile at vdd with the given activity factors. The PDN solver models each
 // tile's workload as a current source of this magnitude (paper §3.4).
-func (p NodeParams) TileCurrent(vdd, coreActivity, routerUtil float64) float64 {
+func (p NodeParams) TileCurrent(vdd Volts, coreActivity, routerUtil float64) float64 {
 	if vdd <= 0 {
 		return 0
 	}
-	return p.TilePower(vdd, coreActivity, routerUtil) / vdd
+	return float64(p.TilePower(vdd, coreActivity, routerUtil)) / float64(vdd)
 }
 
 // Budget describes a dark-silicon power budget (DsPB) ledger: a thermally
 // safe chip power limit with reserve/release accounting, used by the runtime
 // manager to admit applications.
 type Budget struct {
-	limit float64
-	used  float64
+	limit Watts
+	used  Watts
 }
 
 // NewBudget returns a ledger with the given limit in watts. It panics for a
 // non-positive limit, which is static misconfiguration.
-func NewBudget(limitWatts float64) *Budget {
-	if limitWatts <= 0 {
-		panic(fmt.Sprintf("power: non-positive DsPB limit %g", limitWatts))
+func NewBudget(limit Watts) *Budget {
+	if limit <= 0 {
+		panic(fmt.Sprintf("power: non-positive DsPB limit %g", float64(limit)))
 	}
-	return &Budget{limit: limitWatts}
+	return &Budget{limit: limit}
 }
 
 // Limit returns the budget limit in watts.
-func (b *Budget) Limit() float64 { return b.limit }
+func (b *Budget) Limit() Watts { return b.limit }
 
 // Used returns the currently reserved power in watts.
-func (b *Budget) Used() float64 { return b.used }
+func (b *Budget) Used() Watts { return b.used }
 
 // Available returns the remaining headroom in watts.
-func (b *Budget) Available() float64 { return b.limit - b.used }
+func (b *Budget) Available() Watts { return b.limit - b.used }
 
 // Reserve attempts to reserve w watts, returning false (and reserving
 // nothing) if the budget would be exceeded. Negative reservations are
 // rejected.
-func (b *Budget) Reserve(w float64) bool {
+func (b *Budget) Reserve(w Watts) bool {
 	if w < 0 || b.used+w > b.limit+1e-12 {
 		return false
 	}
@@ -113,7 +115,7 @@ func (b *Budget) Reserve(w float64) bool {
 // Release returns w watts to the budget. Releasing more than is reserved
 // clamps the ledger at zero; the caller's accounting bug should not drive
 // the ledger negative and mask later over-subscription.
-func (b *Budget) Release(w float64) {
+func (b *Budget) Release(w Watts) {
 	b.used -= w
 	if b.used < 0 {
 		b.used = 0

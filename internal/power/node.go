@@ -42,12 +42,12 @@ func (n Node) String() string { return fmt.Sprintf("%dnm", int(n)) }
 type NodeParams struct {
 	Node Node
 
-	// VNominal is the nominal (maximum) supply voltage in volts.
-	VNominal float64
-	// VNTC is the near-threshold operating voltage in volts.
-	VNTC float64
-	// VTh is the device threshold voltage in volts.
-	VTh float64
+	// VNominal is the nominal (maximum) supply voltage.
+	VNominal Volts
+	// VNTC is the near-threshold operating voltage.
+	VNTC Volts
+	// VTh is the device threshold voltage.
+	VTh Volts
 	// Alpha is the velocity-saturation exponent of the alpha-power law.
 	Alpha float64
 	// FMax is the maximum clock frequency in Hz at VNominal.
@@ -134,17 +134,17 @@ func MustParams(n Node) NodeParams {
 // VddLevels returns the permissible supply voltages of node n in increasing
 // order: VNTC up to VNominal in the given step (paper: 0.4–0.8 V, 0.1 V
 // steps at 7nm).
-func (p NodeParams) VddLevels(step float64) []float64 {
+func (p NodeParams) VddLevels(step Volts) []Volts {
 	if step <= 0 {
 		step = 0.1
 	}
-	var out []float64
+	var out []Volts
 	for v := p.VNTC; v <= p.VNominal+1e-9; v += step {
 		out = append(out, round3(v))
 	}
 	return out
 }
 
-func round3(v float64) float64 {
-	return float64(int64(v*1000+0.5)) / 1000
+func round3(v Volts) Volts {
+	return Volts(int64(v*1000+0.5)) / 1000
 }

@@ -108,7 +108,7 @@ func TestDynamicPowerScaling(t *testing.T) {
 	// P = C V^2 f: doubling activity doubles dynamic power.
 	p1 := p.DynamicCorePower(0.6, 0.4)
 	p2 := p.DynamicCorePower(0.6, 0.8)
-	if math.Abs(p2-2*p1) > 1e-12 {
+	if math.Abs(float64(p2-2*p1)) > 1e-12 {
 		t.Errorf("dynamic power not linear in activity: %g vs %g", p1, p2)
 	}
 	// Activity is clamped to [0,1].
@@ -126,8 +126,9 @@ func TestDynamicPowerScaling(t *testing.T) {
 
 func TestLeakageBehavior(t *testing.T) {
 	p := MustParams(Node7)
-	if got := p.LeakagePower(p.VNominal, p.LeakCore); math.Abs(got-p.VNominal*p.LeakCore) > 1e-12 {
-		t.Errorf("leakage at nominal = %g, want %g", got, p.VNominal*p.LeakCore)
+	want := float64(p.VNominal) * p.LeakCore
+	if got := p.LeakagePower(p.VNominal, p.LeakCore); math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("leakage at nominal = %g, want %g", got, want)
 	}
 	if p.CoreLeakage(0.4) >= p.CoreLeakage(0.8) {
 		t.Error("leakage not increasing in Vdd")
@@ -139,18 +140,18 @@ func TestLeakageBehavior(t *testing.T) {
 
 func TestTilePowerComposition(t *testing.T) {
 	p := MustParams(Node7)
-	v := 0.6
+	v := Volts(0.6)
 	sum := p.DynamicCorePower(v, 0.9) + p.CoreLeakage(v) +
 		p.DynamicRouterPower(v, 0.3) + p.RouterLeakage(v)
-	if got := p.TilePower(v, 0.9, 0.3); math.Abs(got-sum) > 1e-12 {
+	if got := p.TilePower(v, 0.9, 0.3); math.Abs(float64(got-sum)) > 1e-12 {
 		t.Errorf("TilePower = %g, want %g", got, sum)
 	}
 }
 
 func TestTileCurrent(t *testing.T) {
 	p := MustParams(Node7)
-	v := 0.5
-	want := p.TilePower(v, 0.5, 0.2) / v
+	v := Volts(0.5)
+	want := float64(p.TilePower(v, 0.5, 0.2)) / float64(v)
 	if got := p.TileCurrent(v, 0.5, 0.2); math.Abs(got-want) > 1e-12 {
 		t.Errorf("TileCurrent = %g, want %g", got, want)
 	}
@@ -195,7 +196,7 @@ func TestVddLevels(t *testing.T) {
 		t.Fatalf("VddLevels = %v, want %v", levels, want)
 	}
 	for i := range want {
-		if math.Abs(levels[i]-want[i]) > 1e-9 {
+		if math.Abs(float64(levels[i])-want[i]) > 1e-9 {
 			t.Errorf("level %d = %g, want %g", i, levels[i], want[i])
 		}
 	}
@@ -223,7 +224,7 @@ func TestBudgetBasics(t *testing.T) {
 		t.Fatal("negative reservation succeeded")
 	}
 	b.Release(35)
-	if math.Abs(b.Available()-35) > 1e-9 {
+	if math.Abs(float64(b.Available()-35)) > 1e-9 {
 		t.Errorf("available = %g, want 35", b.Available())
 	}
 	// Over-release clamps at zero used.
@@ -234,11 +235,11 @@ func TestBudgetBasics(t *testing.T) {
 }
 
 func TestBudgetPanicsOnBadLimit(t *testing.T) {
-	for _, w := range []float64{0, -3} {
+	for _, w := range []Watts{0, -3} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewBudget(%g) did not panic", w)
+					t.Errorf("NewBudget(%g) did not panic", float64(w))
 				}
 			}()
 			NewBudget(w)
@@ -252,7 +253,7 @@ func TestBudgetNeverExceedsLimit(t *testing.T) {
 		b := NewBudget(100)
 		for _, a := range amounts {
 			a = math.Mod(math.Abs(a), 60)
-			b.Reserve(a)
+			b.Reserve(Watts(a))
 			if b.Used() > b.Limit()+1e-9 {
 				return false
 			}
@@ -269,11 +270,11 @@ func TestBudgetReserveReleaseRoundTrip(t *testing.T) {
 	f := func(a float64) bool {
 		a = math.Mod(math.Abs(a), 65)
 		b := NewBudget(65)
-		if !b.Reserve(a) {
+		if !b.Reserve(Watts(a)) {
 			return false
 		}
-		b.Release(a)
-		return math.Abs(b.Used()) < 1e-9
+		b.Release(Watts(a))
+		return math.Abs(float64(b.Used())) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

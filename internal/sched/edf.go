@@ -226,8 +226,11 @@ type taskHeap struct {
 func (h taskHeap) Len() int { return len(h.ids) }
 func (h taskHeap) Less(i, j int) bool {
 	a, b := h.ids[i], h.ids[j]
-	if h.dl[a] != h.dl[b] {
-		return h.dl[a] < h.dl[b]
+	if h.dl[a] < h.dl[b] {
+		return true
+	}
+	if h.dl[a] > h.dl[b] {
+		return false
 	}
 	return a < b
 }
