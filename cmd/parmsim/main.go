@@ -54,7 +54,9 @@ func main() {
 			log.Fatal(err)
 		}
 		w, err = appmodel.ReadWorkloadJSON(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

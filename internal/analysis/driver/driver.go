@@ -10,11 +10,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
@@ -36,6 +38,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Analyzable is the subset of Files analyzers run over: generated files
+	// participate in type checking but are nobody's lint problem.
+	Analyzable []*ast.File
 }
 
 // Rule binds an analyzer to the package import paths it applies to. A nil
@@ -60,7 +65,14 @@ func (f Finding) String() string {
 // Load enumerates and type-checks the module packages named by patterns
 // (e.g. "./..."), returning them in dependency order.
 func Load(fset *token.FileSet, patterns []string) ([]*Package, error) {
-	listed, err := goList(patterns)
+	return LoadDir(fset, "", patterns)
+}
+
+// LoadDir is Load with the package patterns resolved relative to dir (the
+// process working directory when dir is empty). Tests point it at throwaway
+// modules.
+func LoadDir(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -151,12 +163,29 @@ func (m *moduleImporter) check(path string) (*Package, error) {
 		return nil, fmt.Errorf("driver: package %s not listed", path)
 	}
 	files := make([]*ast.File, 0, len(lp.GoFiles))
+	analyzable := make([]*ast.File, 0, len(lp.GoFiles))
 	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(m.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		fullPath := filepath.Join(lp.Dir, name)
+		src, err := os.ReadFile(fullPath)
+		if err != nil {
+			return nil, fmt.Errorf("driver: reading %s: %w", fullPath, err)
+		}
+		// Ignore-tagged files (helper scripts, codegen drivers) are not part
+		// of the build; skip before parsing so a syntax error in one cannot
+		// break the whole load.
+		if hasIgnoreConstraint(src) {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, fullPath, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		// Generated files still type-check (handwritten code may reference
+		// their symbols) but are excluded from analysis.
+		if !ast.IsGenerated(f) {
+			analyzable = append(analyzable, f)
+		}
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -170,16 +199,51 @@ func (m *moduleImporter) check(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driver: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Files: files, Types: tpkg, Info: info, Analyzable: analyzable}
 	m.module[path] = pkg
 	return pkg, nil
+}
+
+// hasIgnoreConstraint reports whether the file header carries a build
+// constraint that keeps it out of every ordinary build — the
+// `//go:build ignore` idiom (or its legacy `// +build ignore` spelling).
+// The scan is textual, restricted to the pre-package header, so it works on
+// files that do not parse.
+func hasIgnoreConstraint(src []byte) bool {
+	for _, line := range bytes.Split(src, []byte("\n")) {
+		text := string(bytes.TrimRight(line, "\r"))
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 && !bytes.HasPrefix(trimmed, []byte("//")) {
+			// First non-comment, non-blank line: constraints can only appear
+			// above it (the package clause or stray text).
+			return false
+		}
+		if !constraint.IsGoBuild(text) && !constraint.IsPlusBuild(text) {
+			continue
+		}
+		expr, err := constraint.Parse(text)
+		if err != nil {
+			continue
+		}
+		// Evaluate with every ordinary tag satisfied and only "ignore"
+		// unset: false means the file exists solely behind the ignore tag.
+		if !expr.Eval(func(tag string) bool { return tag != "ignore" }) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run loads the packages named by patterns and applies every matching rule,
 // returning all findings sorted by position.
 func Run(patterns []string, rules []Rule) ([]Finding, error) {
+	return RunDir("", patterns, rules)
+}
+
+// RunDir is Run with the package patterns resolved relative to dir.
+func RunDir(dir string, patterns []string, rules []Rule) ([]Finding, error) {
 	fset := token.NewFileSet()
-	pkgs, err := Load(fset, patterns)
+	pkgs, err := LoadDir(fset, dir, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +257,7 @@ func Run(patterns []string, rules []Rule) ([]Finding, error) {
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      fset,
-				Files:     pkg.Files,
+				Files:     pkg.Analyzable,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 			}
@@ -226,10 +290,12 @@ func Run(patterns []string, rules []Rule) ([]Finding, error) {
 }
 
 // goList shells out to `go list -json` for package metadata; the go
-// toolchain is the one component the environment guarantees.
-func goList(patterns []string) ([]*listedPackage, error) {
+// toolchain is the one component the environment guarantees. A non-empty
+// dir resolves the patterns inside that directory's module.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := append([]string{"list", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()

@@ -1,0 +1,241 @@
+// Package errsink flags swallowed errors: an error-returning call used as a
+// bare statement, or an error result assigned to the blank identifier. A
+// dropped Close or Flush error silently truncates the Fig-6/Fig-7 CSV
+// artifacts this module exists to produce, so errors must be checked or
+// deliberately waved through.
+//
+// Call sites whose errors are documented never to occur are exempt:
+//
+//   - fmt.Print/Printf/Println (stdout convention);
+//   - fmt.Fprint/Fprintf/Fprintln writing to os.Stdout, os.Stderr, a
+//     *strings.Builder, or a *bytes.Buffer;
+//   - methods on strings.Builder and bytes.Buffer (Write* return nil error
+//     by contract);
+//   - methods on hash-package digests (hash.Hash.Write never fails).
+//
+// Deferred calls are not flagged: `defer f.Close()` on a read-only file is
+// idiomatic, and rewriting it to capture the error is a judgement call the
+// linter should not force.
+//
+// Suppression is //parm:errok on the flagged line or the line above it, for
+// a site where dropping the error is a considered decision.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parm/internal/analysis"
+)
+
+// Analyzer flags dropped error results.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flags error results dropped at call statements or assigned to _",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.ExprStmt:
+				checkExprStmt(pass, f, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkExprStmt flags a bare call statement that discards an error result.
+func checkExprStmt(pass *analysis.Pass, f *ast.File, s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok || exemptCall(pass, call) {
+		return
+	}
+	if !returnsError(pass, call) {
+		return
+	}
+	if pass.Suppressed(f, call.Pos(), "errok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s dropped; check it or annotate //parm:errok", calleeName(call))
+}
+
+// checkAssign flags error values assigned to the blank identifier.
+func checkAssign(pass *analysis.Pass, f *ast.File, s *ast.AssignStmt) {
+	// Tuple form: a, _ := call().
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if ok && exemptCall(pass, call) {
+			return
+		}
+		tv, ok2 := pass.TypesInfo.Types[s.Rhs[0]]
+		if !ok2 {
+			return
+		}
+		tuple, ok2 := tv.Type.(*types.Tuple)
+		if !ok2 {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if !isBlank(lhs) || i >= tuple.Len() {
+				continue
+			}
+			if !isErrorType(tuple.At(i).Type()) {
+				continue
+			}
+			if pass.Suppressed(f, lhs.Pos(), "errok") {
+				continue
+			}
+			what := "call"
+			if ok {
+				what = calleeName(call)
+			}
+			pass.Reportf(lhs.Pos(), "error from %s assigned to _; check it or annotate //parm:errok", what)
+		}
+		return
+	}
+	// Parallel form: _ = expr (per position).
+	for i, lhs := range s.Lhs {
+		if !isBlank(lhs) || i >= len(s.Rhs) {
+			continue
+		}
+		rhs := s.Rhs[i]
+		if call, ok := rhs.(*ast.CallExpr); ok && exemptCall(pass, call) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[rhs]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if pass.Suppressed(f, lhs.Pos(), "errok") {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error value assigned to _; check it or annotate //parm:errok")
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exemptCall reports whether the call's error is documented never to occur
+// (see the package comment's table).
+func exemptCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+
+	// Package-level fmt printers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				return len(call.Args) > 0 && exemptWriter(pass, call.Args[0])
+			}
+			return false
+		}
+	}
+
+	// Methods on never-failing receivers.
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if recv == nil {
+		return false
+	}
+	return neverFailingReceiver(recv)
+}
+
+// exemptWriter reports whether w is os.Stdout/os.Stderr or an in-memory
+// buffer, for which fmt.Fprint* errors cannot meaningfully occur.
+func exemptWriter(pass *analysis.Pass, w ast.Expr) bool {
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	tv := pass.TypesInfo.Types[w].Type
+	return tv != nil && neverFailingReceiver(tv)
+}
+
+// neverFailingReceiver reports whether t (or *t) is strings.Builder,
+// bytes.Buffer, or a type declared in a hash package.
+func neverFailingReceiver(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path, tname := obj.Pkg().Path(), obj.Name()
+	switch {
+	case path == "strings" && tname == "Builder":
+		return true
+	case path == "bytes" && tname == "Buffer":
+		return true
+	case path == "hash" || len(path) > 5 && path[:5] == "hash/":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the call target for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "testdata", errsink.Analyzer)
+}

@@ -1,0 +1,342 @@
+// Package lockhold enforces the lock discipline of the measurement worker
+// pools: a sync.Mutex or sync.RWMutex must never be held across an
+// operation that can block indefinitely — a channel send or receive, a
+// select without a default, sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep,
+// or the acquisition of another (or the same) lock. A goroutine parked on a
+// channel while holding the solve-cache lock wedges every worker behind it;
+// flow analysis catches the pattern at lint time instead of as a hung Fig-6
+// sweep.
+//
+// The analysis is flow-sensitive: each function body's control-flow graph
+// (internal/analysis/cfg) is solved with a forward may-analysis whose facts
+// are the lock objects possibly held at block entry (gen at Lock/RLock,
+// kill at Unlock/RUnlock). A blocking operation reached with a non-empty
+// held set is reported. `defer mu.Unlock()` releases at function exit, so
+// it does NOT clear the held set for the statements that follow — blocking
+// between Lock and the deferred release is still a finding, which is the
+// point.
+//
+// Channel operations guarded by a select WITH a default clause are
+// non-blocking and exempt. Function literals are analyzed as separate
+// functions (their body runs on a different goroutine's schedule).
+//
+// Suppression is //parm:hold on the flagged line or the line above it, for
+// a blocking operation that is provably bounded (e.g. a send on a buffered
+// channel sized to the fan-out).
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/cfg"
+)
+
+// Analyzer flags locks held across potentially-blocking operations.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "flags sync.Mutex/RWMutex held across channel operations, " +
+		"WaitGroup.Wait, time.Sleep, or another lock acquisition",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Analyze every function body independently: declarations and
+		// literals.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, f, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, f, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody solves the held-locks dataflow over one function body and
+// reports blocking operations reached with a lock held.
+func checkBody(pass *analysis.Pass, f *ast.File, body *ast.BlockStmt) {
+	nonBlocking := selectComms(body)
+	g := cfg.New(body)
+	transfer := func(b *cfg.Block, in cfg.Facts[types.Object]) cfg.Facts[types.Object] {
+		out := in.Clone()
+		for _, n := range b.Nodes {
+			walkNode(pass, n, nonBlocking, &out, nil)
+		}
+		return out
+	}
+	in := cfg.Forward(g, transfer)
+	// Reporting pass: replay each block once from its fixpoint input.
+	for _, b := range g.Blocks {
+		held := in[b].Clone()
+		for _, n := range b.Nodes {
+			walkNode(pass, n, nonBlocking, &held, func(pos token.Pos, what string) {
+				if pass.Suppressed(f, pos, "hold") {
+					return
+				}
+				pass.Reportf(pos, "%s while holding %s; release the lock first or bound the operation (//parm:hold)",
+					what, heldNames(held))
+			})
+		}
+	}
+}
+
+// walkNode applies one block node's lock effects to held, invoking report
+// (when non-nil) at blocking operations reached with locks held. Function
+// literals are not descended into.
+func walkNode(pass *analysis.Pass, root ast.Node, nonBlocking map[ast.Node]bool,
+	held *cfg.Facts[types.Object], report func(token.Pos, string)) {
+
+	// Statements whose evaluation itself blocks.
+	switch s := root.(type) {
+	case *ast.SendStmt:
+		if !nonBlocking[s] && report != nil && len(*held) > 0 {
+			report(s.Arrow, "channel send")
+		}
+	case *ast.SelectStmt:
+		if !hasDefault(s) && report != nil && len(*held) > 0 {
+			report(s.Select, "select without default")
+		}
+		// Clause bodies live in their own blocks; nothing more to do here.
+		return
+	case *ast.RangeStmt:
+		if tv, ok := pass.TypesInfo.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				if report != nil && len(*held) > 0 {
+					report(s.For, "range over channel")
+				}
+			}
+		}
+	}
+
+	cfg.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function, separate schedule
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return, not here: it must not kill
+			// the held fact for the statements that follow.
+			return false
+		case *ast.GoStmt:
+			return false // runs on another goroutine
+		case *ast.SendStmt:
+			if n != root && !nonBlocking[n] && report != nil && len(*held) > 0 {
+				report(n.Arrow, "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonBlocking[n] && report != nil && len(*held) > 0 {
+				report(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			applyCall(pass, n, held, report)
+		}
+		return true
+	})
+}
+
+// applyCall handles one call: lock gen/kill and known-blocking callees.
+func applyCall(pass *analysis.Pass, call *ast.CallExpr, held *cfg.Facts[types.Object], report func(token.Pos, string)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+
+	// time.Sleep.
+	if pkg, ok := pass.TypesInfo.Uses[baseIdent(sel.X)].(*types.PkgName); ok && baseIdent(sel.X) != nil {
+		if pkg.Imported().Path() == "time" && name == "Sleep" {
+			if report != nil && len(*held) > 0 {
+				report(call.Pos(), "time.Sleep")
+			}
+			return
+		}
+	}
+
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if recv == nil {
+		return
+	}
+	switch {
+	case isSyncType(recv, "Mutex"), isSyncType(recv, "RWMutex"):
+		obj := lockObject(pass, sel.X)
+		switch name {
+		case "Lock", "RLock":
+			// Acquiring while anything is held (including this lock) can
+			// block or self-deadlock.
+			if report != nil && len(*held) > 0 {
+				report(call.Pos(), "acquiring "+exprString(sel.X)+"."+name)
+			}
+			if obj != nil {
+				*held = held.Add(obj)
+			}
+		case "Unlock", "RUnlock":
+			if obj != nil {
+				held.Delete(obj)
+			}
+		case "TryLock", "TryRLock":
+			// Non-blocking; on success the lock is held, so gen it.
+			if obj != nil {
+				*held = held.Add(obj)
+			}
+		}
+	case isSyncType(recv, "WaitGroup") && name == "Wait",
+		isSyncType(recv, "Cond") && name == "Wait":
+		if report != nil && len(*held) > 0 {
+			report(call.Pos(), "sync."+typeBase(recv)+".Wait")
+		}
+	}
+}
+
+// lockObject resolves the identity of a lock expression to a types.Object:
+// a variable for `mu`, the field object for `c.mu` (one fact per field, not
+// per instance — sound for the intra-procedural may-analysis).
+func lockObject(pass *analysis.Pass, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[x]; ok {
+			return s.Obj()
+		}
+		return pass.TypesInfo.Uses[x.Sel]
+	case *ast.ParenExpr:
+		return lockObject(pass, x.X)
+	case *ast.UnaryExpr:
+		return lockObject(pass, x.X)
+	}
+	return nil
+}
+
+// selectComms collects the channel operations serving as comm guards of any
+// select. With a default clause they are non-blocking; without one the
+// select statement itself is reported, so reporting the individual comm ops
+// again would be noise.
+func selectComms(body *ast.BlockStmt) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cs := range sel.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			out[cc.Comm] = true
+			// The comm statement wraps the underlying send/recv expr.
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SendStmt:
+					out[m] = true
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						out[m] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncType reports whether t (or *t) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// typeBase returns the bare type name of t for diagnostics.
+func typeBase(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// heldNames renders the held lock set for diagnostics, sorted for
+// determinism.
+func heldNames(held cfg.Facts[types.Object]) string {
+	names := make([]string, 0, len(held))
+	for o := range held {
+		names = append(names, o.Name())
+	}
+	// Insertion sort: the set is tiny.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// baseIdent unwraps x to its base identifier, or nil.
+func baseIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.ParenExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short receiver expression for diagnostics.
+func exprString(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.UnaryExpr:
+		return exprString(x.X)
+	}
+	return "lock"
+}

@@ -1,0 +1,138 @@
+// Fixture for the lockhold analyzer: blocking operations reached with a
+// sync.Mutex/RWMutex held fire; the same operations after release, under a
+// select with default, inside separate goroutine literals, or under
+// //parm:hold do not.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	mu2 sync.Mutex
+	wg  sync.WaitGroup
+	ch  = make(chan int)
+)
+
+func sendWhileHeld(v int) {
+	mu.Lock()
+	ch <- v // want `channel send while holding mu`
+	mu.Unlock()
+}
+
+func recvWhileHeld() int {
+	rw.RLock()
+	v := <-ch // want `channel receive while holding rw`
+	rw.RUnlock()
+	return v
+}
+
+func waitWhileHeld() {
+	mu.Lock()
+	wg.Wait() // want `sync.WaitGroup.Wait while holding mu`
+	mu.Unlock()
+}
+
+func sleepWhileHeld() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding mu`
+	mu.Unlock()
+}
+
+func nestedAcquire() {
+	mu.Lock()
+	mu2.Lock() // want `acquiring mu2.Lock while holding mu`
+	mu2.Unlock()
+	mu.Unlock()
+}
+
+func selectNoDefaultWhileHeld() {
+	mu.Lock()
+	select { // want `select without default while holding mu`
+	case v := <-ch:
+		_ = v
+	case ch <- 1:
+	}
+	mu.Unlock()
+}
+
+func rangeChanWhileHeld() int {
+	total := 0
+	mu.Lock()
+	for v := range ch { // want `range over channel while holding mu`
+		total += v
+	}
+	mu.Unlock()
+	return total
+}
+
+func deferUnlockStillHeld(v int) {
+	// The deferred release runs at return; the send still blocks under lock.
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- v // want `channel send while holding mu`
+}
+
+func branchAcquiredReachesJoin(c bool, v int) {
+	// Flow-sensitivity: the lock is only held on one path, but the may-
+	// analysis carries it to the join.
+	if c {
+		mu.Lock()
+	}
+	ch <- v // want `channel send while holding mu`
+	if c {
+		mu.Unlock()
+	}
+}
+
+func sendAfterUnlock(v int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- v // released: no finding
+}
+
+func branchReleasedBeforeJoin(c bool, v int) {
+	if c {
+		mu.Lock()
+		mu.Unlock()
+	}
+	ch <- v // both paths reach here lock-free: no finding
+}
+
+func selectWithDefaultWhileHeld(v int) {
+	mu.Lock()
+	select {
+	case ch <- v: // non-blocking under default: no finding
+	default:
+	}
+	mu.Unlock()
+}
+
+func goroutineBodyIsSeparate(v int) {
+	// The literal runs on its own goroutine; the outer lock is not "held
+	// across" its send.
+	mu.Lock()
+	go func() {
+		ch <- v
+	}()
+	mu.Unlock()
+}
+
+func suppressedBoundedSend(v int) {
+	buffered := make(chan int, 1)
+	mu.Lock()
+	//parm:hold
+	buffered <- v
+	mu.Unlock()
+	<-buffered
+}
+
+func lockFreeBlocking(v int) {
+	// Blocking with nothing held is fine.
+	wg.Wait()
+	ch <- v
+	<-ch
+}

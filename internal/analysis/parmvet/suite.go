@@ -4,7 +4,14 @@
 //   - detrange and poolgo police the deterministic simulation pipeline
 //     (core, chip, pdn, noc, mapping, sched);
 //   - unitsafe polices the electrical boundaries (pdn, power, chip);
-//   - floateq polices every internal package.
+//   - floateq polices every internal package;
+//   - hotalloc and lockhold (flow-sensitive, over internal/analysis/cfg)
+//     police the whole module: hot-loop allocation-freedom and lock
+//     discipline apply wherever //parm:hot functions or mutexes appear;
+//   - errsink polices internal/ and cmd/ — library and binary code must
+//     check or explicitly wave through errors;
+//   - simclock polices the simulation pipeline plus the workload/experiment
+//     layers, where wall-clock or global-rand reads break replayability.
 //
 // cmd/parmvet is a thin wrapper around Check; the analysis driver test runs
 // the same suite over ./... so `go test` alone keeps the repository green
@@ -16,8 +23,12 @@ import (
 
 	"parm/internal/analysis/detrange"
 	"parm/internal/analysis/driver"
+	"parm/internal/analysis/errsink"
 	"parm/internal/analysis/floateq"
+	"parm/internal/analysis/hotalloc"
+	"parm/internal/analysis/lockhold"
 	"parm/internal/analysis/poolgo"
+	"parm/internal/analysis/simclock"
 	"parm/internal/analysis/unitsafe"
 )
 
@@ -37,6 +48,14 @@ var electricalPackages = []string{
 	"parm/internal/power",
 	"parm/internal/chip",
 }
+
+// replayablePackages must be deterministic under a fixed seed: the
+// simulation pipeline plus the workload-model and experiment layers that
+// feed it.
+var replayablePackages = append(append([]string{}, simulationPackages...),
+	"parm/internal/appmodel",
+	"parm/internal/expr",
+)
 
 func matchAny(paths []string) func(string) bool {
 	return func(p string) bool {
@@ -60,6 +79,12 @@ func Rules() []driver.Rule {
 		{Analyzer: poolgo.Analyzer, Match: matchAny(simulationPackages)},
 		{Analyzer: unitsafe.Analyzer, Match: matchAny(electricalPackages)},
 		{Analyzer: floateq.Analyzer, Match: matchPrefix("parm/internal/")},
+		{Analyzer: hotalloc.Analyzer, Match: matchPrefix("parm/")},
+		{Analyzer: lockhold.Analyzer, Match: matchPrefix("parm/")},
+		{Analyzer: errsink.Analyzer, Match: func(p string) bool {
+			return strings.HasPrefix(p, "parm/internal/") || strings.HasPrefix(p, "parm/cmd/")
+		}},
+		{Analyzer: simclock.Analyzer, Match: matchAny(replayablePackages)},
 	}
 }
 

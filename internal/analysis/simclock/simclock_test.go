@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, "testdata", simclock.Analyzer)
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -85,10 +84,12 @@ type event struct {
 	seq  int // insertion order, for deterministic tie-breaking
 }
 
+// eventHeap is a typed binary min-heap ordered by (time, insertion seq).
+// Typed push/pop avoid the interface{} boxing of container/heap, which
+// allocated one escape per scheduled event on the engine's hottest path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t < h[j].t {
 		return true
 	}
@@ -97,14 +98,49 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
 }
 
 // runningApp is the engine's record of a mapped application.
@@ -210,7 +246,7 @@ func (e *Engine) NoCCacheStats() (hits, misses int) { return e.nocHits, e.nocMis
 
 func (e *Engine) push(t float64, kind, app int) {
 	e.seq++
-	heap.Push(&e.events, event{t: t, kind: kind, app: app, seq: e.seq})
+	e.events.push(event{t: t, kind: kind, app: app, seq: e.seq})
 }
 
 // Run executes the workload to completion (or the safety cap) and returns
@@ -233,7 +269,7 @@ func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
 	e.scheduleSample(0)
 
 	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.t > e.cfg.MaxSimTime {
 			break
 		}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The typed event heap must drain in (time, seq) order — the property the
+// container/heap implementation it replaced guaranteed.
+func TestEventHeapDrainsInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	const n = 500
+	events := make([]event, n)
+	for i := range events {
+		// Coarse times force plenty of ties so the seq tie-break is exercised.
+		events[i] = event{t: float64(rng.Intn(20)), kind: i % 3, app: i, seq: i}
+	}
+	for _, ev := range rng.Perm(n) {
+		h.push(events[ev])
+	}
+
+	want := make([]event, n)
+	copy(want, events)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].t != want[j].t {
+			return want[i].t < want[j].t
+		}
+		return want[i].seq < want[j].seq
+	})
+
+	for i := 0; i < n; i++ {
+		got := h.pop()
+		if got != want[i] {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after draining: %d left", h.Len())
+	}
+}
+
+func TestEventHeapSingleElement(t *testing.T) {
+	var h eventHeap
+	ev := event{t: 1.5, kind: 2, app: 3, seq: 4}
+	h.push(ev)
+	if got := h.pop(); got != ev {
+		t.Fatalf("pop = %+v, want %+v", got, ev)
+	}
+}

@@ -39,6 +39,28 @@ func BenchmarkNetworkStep(b *testing.B) {
 	}
 }
 
+// BenchmarkNoCRingAllocs pins the //parm:hot contract dynamically: once the
+// mesh reaches steady state (ring buffers filled, packet-start map at its
+// working size), a cycle step must run allocation-free. hotalloc enforces
+// the same property statically.
+func BenchmarkNoCRingAllocs(b *testing.B) {
+	env := &Env{PSN: make([]float64, 60)}
+	n, err := NewNetwork(Config{}, PANR{}, benchFlows(), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Run(8000) // fill buffers and grow the packet-start map to steady state
+	allocs := testing.AllocsPerRun(1000, n.Step)
+	if allocs != 0 {
+		b.Fatalf("steady-state Step allocates %.3f times per run, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
 // BenchmarkMeasureWindow times a full measurement window (the per-mapping-
 // event cost in the runtime engine).
 func BenchmarkMeasureWindow(b *testing.B) {

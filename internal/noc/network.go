@@ -119,6 +119,10 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 		injectRR:     make([]int, mesh.NumTiles()),
 		flowsBySrc:   make([][]int, mesh.NumTiles()),
 		packetStarts: make(map[[2]int]int),
+		// Preallocated to their steady-state bounds so the cycle loop never
+		// grows them: at most one arrival per (tile, port) per cycle.
+		arrivalScratch: make([]pendingArrival, 0, mesh.NumTiles()*geom.NumPorts),
+		inFlight:       make([][geom.NumPorts]int, mesh.NumTiles()),
 	}
 	// One backing array for every input buffer keeps the rings contiguous.
 	bufs := make([]flit, mesh.NumTiles()*geom.NumPorts*cfg.BufferFlits)
@@ -161,6 +165,8 @@ func (n *Network) IncomingRate(t geom.TileID) float64 {
 func (n *Network) SensorPSN(t geom.TileID) float64 { return n.env.psnAt(t) }
 
 // Step advances the simulation by one cycle.
+//
+//parm:hot
 func (n *Network) Step() {
 	n.inject()
 	n.routeCompute()
@@ -179,6 +185,8 @@ func (n *Network) Run(cycles int) {
 }
 
 // inject moves demand into source NICs and NIC flits into local input ports.
+//
+//parm:hot
 func (n *Network) inject() {
 	// Accrue demand and stage whole packets.
 	for i := range n.flows {
@@ -220,6 +228,8 @@ func (n *Network) inject() {
 
 // pickInjection selects which flow injects at tile t this cycle: the
 // in-progress packet if any, else round-robin over staged flows.
+//
+//parm:hot
 func (n *Network) pickInjection(t int) int {
 	if n.partialFlow[t] >= 0 {
 		return n.partialFlow[t]
@@ -240,6 +250,8 @@ func (n *Network) pickInjection(t int) int {
 
 // flitToInject produces the next flit of flow fi's current packet at tile t
 // and updates the partial-packet bookkeeping.
+//
+//parm:hot
 func (n *Network) flitToInject(t, fi int) flit {
 	fpp := n.cfg.FlitsPerPacket
 	if n.partialFlow[t] < 0 {
@@ -267,6 +279,8 @@ func (n *Network) flitToInject(t, fi int) flit {
 
 // routeCompute assigns output directions to unrouted head flits at the
 // front of input buffers.
+//
+//parm:hot
 func (n *Network) routeCompute() {
 	for t := range n.routers {
 		r := &n.routers[t]
@@ -296,11 +310,10 @@ func (n *Network) routeCompute() {
 
 // switchTraversal performs output arbitration and moves at most one flit
 // per output port, collecting link crossings to apply after the sweep.
+//
+//parm:hot
 func (n *Network) switchTraversal() []pendingArrival {
 	arrivals := n.arrivalScratch[:0]
-	if n.inFlight == nil {
-		n.inFlight = make([][geom.NumPorts]int, len(n.routers))
-	}
 	for t := range n.routers {
 		r := &n.routers[t]
 		if r.buffered == 0 {
@@ -363,6 +376,9 @@ func (n *Network) switchTraversal() []pendingArrival {
 			moved := f
 			moved.routed = false
 			moved.outDir = geom.DirInvalid
+			// Bounded by the scratch capacity NewNetwork preallocated: one
+			// arrival per (tile, port) per cycle.
+			//parm:alloc
 			arrivals = append(arrivals, pendingArrival{to: next, port: dstPort, f: moved})
 			if f.kind == KindTail || f.kind == KindHeadTail {
 				r.owner[out] = noOwner
@@ -373,6 +389,8 @@ func (n *Network) switchTraversal() []pendingArrival {
 }
 
 // eject records delivery statistics for a flit leaving the network.
+//
+//parm:hot
 func (n *Network) eject(f flit) {
 	st := &n.stats[f.flow]
 	st.DeliveredFlits++
@@ -390,6 +408,8 @@ func (n *Network) eject(f flit) {
 // clears the inFlight credit holds — every nonzero entry corresponds to
 // exactly one arrival, so this leaves the whole table zero for the next
 // sweep without a full rezeroing pass.
+//
+//parm:hot
 func (n *Network) applyArrivals(arrivals []pendingArrival) {
 	for _, a := range arrivals {
 		r := &n.routers[a.to]
@@ -401,6 +421,8 @@ func (n *Network) applyArrivals(arrivals []pendingArrival) {
 }
 
 // updateRates advances the per-router incoming-rate EWMAs.
+//
+//parm:hot
 func (n *Network) updateRates() {
 	alpha := n.cfg.RateEWMA
 	for t := range n.routers {

@@ -53,23 +53,31 @@ func (XY) Route(ctx RouteCtx) geom.Dir {
 // model allows from src toward dst (paper ref [32]): a packet that must
 // travel west does all west hops first (turns into West are prohibited);
 // afterwards it may choose adaptively among the remaining productive
-// directions. An empty result means the flit has arrived.
-func westFirstPermitted(m geom.Mesh, src, dst geom.TileID) []geom.Dir {
+// directions. A zero count means the flit has arrived. The fixed-size
+// return keeps route computation off the heap — it runs once per packet
+// inside the cycle loop, and the permitted set never exceeds two entries
+// (East plus one of North/South).
+//
+//parm:hot
+func westFirstPermitted(m geom.Mesh, src, dst geom.TileID) (dirs [3]geom.Dir, n int) {
 	cs, cd := m.CoordOf(src), m.CoordOf(dst)
 	if cd.X < cs.X {
-		return []geom.Dir{geom.West}
+		dirs[0] = geom.West
+		return dirs, 1
 	}
-	var dirs []geom.Dir
 	if cd.X > cs.X {
-		dirs = append(dirs, geom.East)
+		dirs[n] = geom.East
+		n++
 	}
 	if cd.Y > cs.Y {
-		dirs = append(dirs, geom.North)
+		dirs[n] = geom.North
+		n++
 	}
 	if cd.Y < cs.Y {
-		dirs = append(dirs, geom.South)
+		dirs[n] = geom.South
+		n++
 	}
-	return dirs
+	return dirs, n
 }
 
 // WestFirst is minimal adaptive west-first routing with a deterministic
@@ -82,8 +90,8 @@ func (WestFirst) Name() string { return "WestFirst" }
 
 // Route implements Algorithm.
 func (WestFirst) Route(ctx RouteCtx) geom.Dir {
-	dirs := westFirstPermitted(ctx.Net.Mesh(), ctx.At, ctx.Dst)
-	if len(dirs) == 0 {
+	dirs, cnt := westFirstPermitted(ctx.Net.Mesh(), ctx.At, ctx.Dst)
+	if cnt == 0 {
 		return geom.Local
 	}
 	return dirs[0]
@@ -101,14 +109,14 @@ func (ICON) Name() string { return "ICON" }
 
 // Route implements Algorithm.
 func (ICON) Route(ctx RouteCtx) geom.Dir {
-	dirs := westFirstPermitted(ctx.Net.Mesh(), ctx.At, ctx.Dst)
-	switch len(dirs) {
+	dirs, cnt := westFirstPermitted(ctx.Net.Mesh(), ctx.At, ctx.Dst)
+	switch cnt {
 	case 0:
 		return geom.Local
 	case 1:
 		return dirs[0]
 	}
-	return minBy(ctx, dirs, func(n geom.TileID) float64 {
+	return minBy(ctx, dirs[:cnt], func(n geom.TileID) float64 {
 		return ctx.Net.IncomingRate(n)
 	})
 }
@@ -128,13 +136,14 @@ func (PANR) Name() string { return "PANR" }
 
 // Route implements Algorithm.
 func (p PANR) Route(ctx RouteCtx) geom.Dir {
-	dirs := westFirstPermitted(ctx.Net.Mesh(), ctx.At, ctx.Dst)
-	switch len(dirs) {
+	perm, cnt := westFirstPermitted(ctx.Net.Mesh(), ctx.At, ctx.Dst)
+	switch cnt {
 	case 0:
 		return geom.Local
 	case 1:
-		return dirs[0]
+		return perm[0]
 	}
+	dirs := perm[:cnt]
 	b := p.Threshold
 	if b <= 0 {
 		b = ctx.Net.cfg.OccupancyThreshold

@@ -46,7 +46,8 @@ func TestWestFirstPermittedProperties(t *testing.T) {
 	f := func(a, b uint8) bool {
 		src := geom.TileID(int(a) % 60)
 		dst := geom.TileID(int(b) % 60)
-		dirs := westFirstPermitted(m, src, dst)
+		perm, cnt := westFirstPermitted(m, src, dst)
+		dirs := perm[:cnt]
 		cs, cd := m.CoordOf(src), m.CoordOf(dst)
 		if src == dst {
 			return len(dirs) == 0

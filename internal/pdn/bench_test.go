@@ -26,9 +26,38 @@ func BenchmarkDCOperatingPoint(b *testing.B) {
 	p := power.MustParams(power.Node7)
 	loads := BuildLoads(occupantsForBench(p))
 	c := newCircuit(Config{Params: p, Vdd: 0.5}.withDefaults(), loads)
+	var scratch solverScratch
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.dcOperatingPoint(); err != nil {
+		if _, err := c.dcOperatingPoint(&scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSNStepAllocs pins the //parm:hot contract dynamically: after one
+// warm-up solve grows the scratch buffers, a Solver's transient solve must
+// run allocation-free. hotalloc enforces the same property statically.
+func BenchmarkPSNStepAllocs(b *testing.B) {
+	p := power.MustParams(power.Node7)
+	loads := BuildLoads(occupantsForBench(p))
+	cfg := Config{Params: p, Vdd: 0.5}
+	s := NewSolver(nil) // uncached: every call takes the full integration path
+	if _, err := s.SimulateDomain(cfg, loads); err != nil {
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.SimulateDomain(cfg, loads); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		b.Fatalf("warm PSN solve allocates %.1f times per run, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SimulateDomain(cfg, loads); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -184,27 +184,47 @@ func (c *circuit) current(i int, t float64) float64 {
 	return ld.IAvg * (1 + ld.Activity*s)
 }
 
+// dcUnknowns is the DC operating-point system size: the bump node voltage
+// plus one voltage per tile node.
+const dcUnknowns = 1 + DomainTiles
+
+// solverScratch holds every buffer one domain solve reuses across calls:
+// the per-tile current tables and the DC operating-point system. A Solver
+// threads one scratch through consecutive solves so the warm path performs
+// no allocation at all (BenchmarkPSNStepAllocs pins 0 allocs/op).
+type solverScratch struct {
+	// table holds the per-tile current waveforms; rows grow once to the
+	// longest window seen and are reused thereafter.
+	table [DomainTiles][]float64
+	// dcRows backs the DC conductance matrix; dcA holds the row slices the
+	// pivoting solver permutes in place.
+	dcRows [dcUnknowns][dcUnknowns]float64
+	dcA    [dcUnknowns][]float64
+	dcB    [dcUnknowns]float64
+	dcX    [dcUnknowns]float64
+}
+
 // currentTable precomputes every tile's current waveform on the half-step
 // grid the RK4 integrator samples (t, t+h/2, t+h), using a sine rotation
 // recurrence so the hot loop performs no trig calls. Entry [i][k] is tile
-// i's current at time k*h/2. When scratch is non-nil its slices are reused
-// (and grown as needed) instead of allocating fresh tables — the Solver
-// threads one scratch set through consecutive solves to kill per-call
-// allocation churn.
-func (c *circuit) currentTable(h float64, steps int, scratch *[DomainTiles][]float64) [DomainTiles][]float64 {
+// i's current at time k*h/2. The scratch rows are reused (and grown only
+// when the window lengthens) instead of allocating fresh tables.
+//
+//parm:hot
+func (c *circuit) currentTable(h float64, steps int, scratch *solverScratch) [DomainTiles][]float64 {
 	var out [DomainTiles][]float64
 	n := 2*steps + 2
 	for i := 0; i < DomainTiles; i++ {
-		if scratch != nil && cap(scratch[i]) >= n {
-			out[i] = scratch[i][:n]
+		if cap(scratch.table[i]) >= n {
+			out[i] = scratch.table[i][:n]
 			for k := range out[i] {
 				out[i][k] = 0
 			}
 		} else {
+			// First call (or a longer window): grow once, reuse forever.
+			//parm:alloc
 			out[i] = make([]float64, n)
-			if scratch != nil {
-				scratch[i] = out[i]
-			}
+			scratch.table[i] = out[i]
 		}
 		ld := c.loads[i]
 		if ld.IAvg <= 0 {
@@ -240,6 +260,8 @@ type state struct {
 
 // deriv computes the time derivative of the state, with tile currents given
 // by cur (one value per tile, already evaluated at the step's time point).
+//
+//parm:hot
 func (c *circuit) deriv(s state, cur *[DomainTiles]float64) state {
 	var d state
 	// Inductor: L di/dt = Vs - Rb*iL - vB
@@ -274,6 +296,7 @@ func (c *circuit) derivAt(s state, t float64) state {
 	return c.deriv(s, &cur)
 }
 
+//parm:hot
 func addScaled(a state, b state, h float64) state {
 	var out state
 	out.il = a.il + h*b.il
@@ -286,14 +309,28 @@ func addScaled(a state, b state, h float64) state {
 
 // dcOperatingPoint solves the resistive DC network with the average tile
 // currents, giving an initial condition free of artificial start-up droop.
-func (c *circuit) dcOperatingPoint() (state, error) {
+// The system lives entirely in scratch: matrix, right-hand side, and
+// solution are reused buffers, so the warm path allocates nothing.
+//
+//parm:hot
+func (c *circuit) dcOperatingPoint(scr *solverScratch) (state, error) {
 	// Unknowns: x[0]=vB, x[1..4]=vT0..vT3. iL = total current.
-	n := 1 + DomainTiles
-	a := make([][]float64, n)
-	for i := range a {
-		a[i] = make([]float64, n)
+	if scr.dcA[0] == nil {
+		for i := range scr.dcA {
+			scr.dcA[i] = scr.dcRows[i][:]
+		}
 	}
-	b := make([]float64, n)
+	a := scr.dcA[:]
+	for i := range a {
+		row := a[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	b := scr.dcB[:]
+	for i := range b {
+		b[i] = 0
+	}
 	total := 0.0
 	for i := 0; i < DomainTiles; i++ {
 		total += c.loads[i].IAvg
@@ -317,8 +354,8 @@ func (c *circuit) dcOperatingPoint() (state, error) {
 		}
 		b[r] = -c.loads[i].IAvg
 	}
-	x, err := SolveLinear(a, b)
-	if err != nil {
+	x := scr.dcX[:]
+	if err := solveLinearInto(x, a, b); err != nil {
 		return state{}, err
 	}
 	st := state{il: total, vb: x[0]}
@@ -358,15 +395,18 @@ func SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result, error) {
 	if err := validate(cfg, loads); err != nil {
 		return Result{}, err
 	}
-	return simulate(cfg, loads, nil)
+	return simulate(cfg, loads, &solverScratch{})
 }
 
 // simulate is the transient-integration core shared by SimulateDomain and
-// Solver. cfg must have defaults applied and inputs validated. scratch, when
-// non-nil, supplies reusable current-table buffers.
-func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *[DomainTiles][]float64) (Result, error) {
+// Solver. cfg must have defaults applied and inputs validated. scratch
+// supplies the reusable buffers; a Solver threads one through consecutive
+// solves, the one-shot path hands in a fresh set.
+//
+//parm:hot
+func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *solverScratch) (Result, error) {
 	c := newCircuit(cfg, loads)
-	st, err := c.dcOperatingPoint()
+	st, err := c.dcOperatingPoint(scratch)
 	if err != nil {
 		return Result{}, err
 	}

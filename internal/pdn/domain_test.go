@@ -267,7 +267,7 @@ func TestCurrentTableMatchesAnalytic(t *testing.T) {
 	loads := BuildLoads(highOcc(p, 0.5, true))
 	c := newCircuit(Config{Params: p, Vdd: 0.5, BurstHz: 125e6}.withDefaults(), loads)
 	h := 20e-12
-	table := c.currentTable(h, 100, nil)
+	table := c.currentTable(h, 100, &solverScratch{})
 	for k := 0; k <= 200; k++ {
 		tm := float64(k) * h / 2
 		for i := 0; i < DomainTiles; i++ {
@@ -285,7 +285,7 @@ func TestDerivConsistency(t *testing.T) {
 	p := node7()
 	loads := BuildLoads(highOcc(p, 0.5, false))
 	c := newCircuit(Config{Params: p, Vdd: 0.5, BurstHz: 125e6}.withDefaults(), loads)
-	st, err := c.dcOperatingPoint()
+	st, err := c.dcOperatingPoint(&solverScratch{})
 	if err != nil {
 		t.Fatal(err)
 	}

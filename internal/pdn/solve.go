@@ -21,10 +21,18 @@ package pdn
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrSingular is returned when a linear system has no unique solution.
 var ErrSingular = errors.New("pdn: singular linear system")
+
+// ErrIllConditioned is returned when elimination survives the pivot test but
+// the computed solution overflows or degenerates to NaN/Inf — the system is
+// too ill-conditioned for the result to mean anything. With this guard,
+// SolveLinear never hands back a non-finite voltage with a nil error
+// (FuzzSolveLinear pins the property).
+var ErrIllConditioned = errors.New("pdn: ill-conditioned linear system")
 
 // SolveLinear solves the dense linear system a·x = b in place using Gaussian
 // elimination with partial pivoting and returns x. Both a and b are
@@ -33,10 +41,23 @@ var ErrSingular = errors.New("pdn: singular linear system")
 // The systems in this package are tiny (≤ 8 unknowns: DC operating points of
 // a domain), so a dense direct solve is the right tool.
 func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
-	n := len(a)
-	if n == 0 || len(b) != n {
+	if len(a) == 0 || len(b) != len(a) {
 		return nil, fmt.Errorf("pdn: bad system shape %dx%d vs %d", len(a), len(a), len(b))
 	}
+	x := make([]float64, len(a))
+	if err := solveLinearInto(x, a, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveLinearInto is the allocation-free core of SolveLinear: it eliminates
+// in place and writes the solution to x, which must have length len(a). The
+// DC operating-point path threads a scratch x through it every solve.
+//
+//parm:hot
+func solveLinearInto(x []float64, a [][]float64, b []float64) error {
+	n := len(a)
 	// Singularity is judged relative to the matrix's own scale: conductance
 	// matrices built from nano-Henry bumps or pico-Farad decaps can be
 	// well-conditioned while every entry is far below any fixed absolute
@@ -45,7 +66,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 	scale := 0.0
 	for _, row := range a {
 		if len(row) != n {
-			return nil, fmt.Errorf("pdn: non-square matrix row of length %d", len(row))
+			return fmt.Errorf("pdn: non-square matrix row of length %d", len(row))
 		}
 		for _, v := range row {
 			if abs(v) > scale {
@@ -54,7 +75,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		}
 	}
 	if scale == 0 {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	// Pivots below scale*pivotRelTol are indistinguishable from elimination
 	// round-off (~n*machine-epsilon per step for these tiny systems).
@@ -68,7 +89,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 			}
 		}
 		if abs(a[pivot][col]) < scale*pivotRelTol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		a[col], a[pivot] = a[pivot], a[col]
 		b[col], b[pivot] = b[pivot], b[col]
@@ -84,7 +105,6 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 			b[r] -= f * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for r := n - 1; r >= 0; r-- {
 		sum := b[r]
 		for c := r + 1; c < n; c++ {
@@ -92,7 +112,12 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		}
 		x[r] = sum / a[r][r]
 	}
-	return x, nil
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrIllConditioned
+		}
+	}
+	return nil
 }
 
 func abs(v float64) float64 {

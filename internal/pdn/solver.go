@@ -114,7 +114,7 @@ func (c *SolveCache) Stats() (hits, misses uint64, entries int) {
 // share the SolveCache between them.
 type Solver struct {
 	cache   *SolveCache
-	scratch [DomainTiles][]float64
+	scratch solverScratch
 }
 
 // NewSolver returns a Solver backed by cache. A nil cache disables
