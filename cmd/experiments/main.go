@@ -27,13 +27,27 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		figs    = flag.String("fig", "all", "comma-separated figures: 1, 3a, 3b, 6, 7, 8, overhead, darksilicon, profiles, or all")
-		numApps = flag.Int("apps", 20, "applications per sequence for Figs 6-8")
-		seed    = flag.Int64("seed", 42, "workload generation seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		figs     = flag.String("fig", "all", "comma-separated figures: 1, 3a, 3b, 6, 7, 8, overhead, darksilicon, profiles, or all")
+		numApps  = flag.Int("apps", 20, "applications per sequence for Figs 6-8")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		bench    = flag.Bool("bench", false, "run the solver/engine benchmark harness instead of the figures")
+		benchOut = flag.String("benchout", "BENCH_parm.json", "benchmark JSON output path (with -bench)")
 	)
 	flag.Parse()
+
+	if *bench {
+		verbose := func(format string, args ...interface{}) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		if err := runBench(*benchOut, *numApps, *seed, verbose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {

@@ -79,6 +79,11 @@ type Config struct {
 	// every sample to integrate every active domain (serial reference
 	// mode for determinism tests and benchmarks).
 	DisablePSNCache bool
+	// PSNMode selects the domain transient solver algorithm (the zero
+	// value, pdn.ModeAuto, selects the exact phasor steady-state fast
+	// path; pdn.ModeRK4 is the numerical reference). Samples are
+	// bit-identical across runs for any fixed mode.
+	PSNMode pdn.Mode
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +117,8 @@ type Chip struct {
 
 	// psnWorkers is the resolved SamplePSN pool bound (>= 1).
 	psnWorkers int
+	// psnMode is the domain-solve algorithm every sample uses.
+	psnMode pdn.Mode
 	// solveCache memoizes domain solves across samples and workers; nil
 	// when caching is disabled.
 	solveCache *pdn.SolveCache
@@ -140,6 +147,7 @@ func New(cfg Config) (*Chip, error) {
 	if c.psnWorkers <= 0 {
 		c.psnWorkers = runtime.GOMAXPROCS(0)
 	}
+	c.psnMode = cfg.PSNMode
 	if !cfg.DisablePSNCache {
 		c.solveCache = pdn.NewSolveCache()
 	}

@@ -110,7 +110,7 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 		}
 		jobs = append(jobs, psnJob{
 			domain: i,
-			cfg:    pdn.Config{Params: c.Node, Vdd: d.Vdd},
+			cfg:    pdn.Config{Params: c.Node, Vdd: d.Vdd, Mode: c.psnMode},
 			loads:  pdn.BuildLoads(occ),
 		})
 	}
@@ -174,11 +174,12 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 	return s, nil
 }
 
-// PSNCacheStats reports the chip's domain-solve cache hits, misses, and
-// entry count. All zeros when the cache is disabled.
-func (c *Chip) PSNCacheStats() (hits, misses uint64, entries int) {
+// PSNCacheStats reports the chip's domain-solve cache counters (hits,
+// misses, overflow clears/evictions) and entry count. All zeros when the
+// cache is disabled.
+func (c *Chip) PSNCacheStats() pdn.CacheStats {
 	if c.solveCache == nil {
-		return 0, 0, 0
+		return pdn.CacheStats{}
 	}
 	return c.solveCache.Stats()
 }

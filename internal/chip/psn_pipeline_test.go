@@ -83,8 +83,8 @@ func TestSamplePSNParallelMatchesSerial(t *testing.T) {
 				t.Fatalf("workers=%d rep=%d: sample differs from serial reference", workers, rep)
 			}
 		}
-		if hits, misses, _ := c.PSNCacheStats(); hits == 0 || misses == 0 {
-			t.Errorf("workers=%d: cache not exercised (hits=%d misses=%d)", workers, hits, misses)
+		if st := c.PSNCacheStats(); st.Hits == 0 || st.Misses == 0 {
+			t.Errorf("workers=%d: cache not exercised (hits=%d misses=%d)", workers, st.Hits, st.Misses)
 		}
 	}
 }
@@ -101,16 +101,16 @@ func TestSamplePSNCacheHitsOnRepeat(t *testing.T) {
 	if _, err := c.SamplePSN(util); err != nil {
 		t.Fatal(err)
 	}
-	_, missesAfterFirst, _ := c.PSNCacheStats()
+	missesAfterFirst := c.PSNCacheStats().Misses
 	if _, err := c.SamplePSN(util); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := c.PSNCacheStats()
-	if misses != missesAfterFirst {
-		t.Errorf("repeat sample integrated again: misses %d -> %d", missesAfterFirst, misses)
+	st := c.PSNCacheStats()
+	if st.Misses != missesAfterFirst {
+		t.Errorf("repeat sample integrated again: misses %d -> %d", missesAfterFirst, st.Misses)
 	}
-	if hits < uint64(c.NumDomains()) {
-		t.Errorf("repeat sample hit only %d times, want >= %d", hits, c.NumDomains())
+	if st.Hits < uint64(c.NumDomains()) {
+		t.Errorf("repeat sample hit only %d times, want >= %d", st.Hits, c.NumDomains())
 	}
 }
 

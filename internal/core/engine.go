@@ -44,7 +44,8 @@ type Config struct {
 	// map/unmap event even when the active flow set and the sensor PSN
 	// environment are unchanged since the last measurement (serial
 	// reference mode for determinism tests and benchmarks). The chip-side
-	// measurement knobs live in Chip (PSNWorkers, DisablePSNCache).
+	// measurement knobs live in Chip (PSNWorkers, DisablePSNCache, and
+	// PSNMode, which selects the domain transient solver algorithm).
 	DisableNoCCache bool
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"parm/internal/appmodel"
+	"parm/internal/pdn"
 	"parm/internal/power"
 )
 
@@ -195,10 +196,13 @@ func TestEngineDeterministic(t *testing.T) {
 // counts — the contract the sorted-iteration discipline (and the detrange
 // and poolgo analyzers that enforce it) protects. Stricter than
 // TestEngineDeterministic: every field of every outcome is covered.
+// Exercised per solver mode: the exact paths (expm, phasor) must be just as
+// reproducible as the RK4 reference, and auto must coincide with phasor.
 func TestEngineRunsByteIdentical(t *testing.T) {
-	run := func(workers int) []byte {
+	run := func(workers int, mode pdn.Mode) []byte {
 		cfg := Config{}
 		cfg.Chip.PSNWorkers = workers
+		cfg.Chip.PSNMode = mode
 		w := genWorkload(t, appmodel.WorkloadMixed, 6, 0.06, 14)
 		m := runOne(t, cfg, MustCombo("PARM", "PANR"), w)
 		var buf bytes.Buffer
@@ -207,15 +211,28 @@ func TestEngineRunsByteIdentical(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	base := run(1)
-	if len(base) == 0 {
-		t.Fatal("empty metrics JSON")
-	}
-	if rerun := run(1); !bytes.Equal(rerun, base) {
-		t.Error("two serial runs diverged")
-	}
-	if parallel := run(4); !bytes.Equal(parallel, base) {
-		t.Error("4-worker run diverged from the serial reference")
+	var autoBase []byte
+	for _, mode := range []pdn.Mode{pdn.ModeAuto, pdn.ModeRK4, pdn.ModeExpm, pdn.ModePhasor} {
+		t.Run(mode.String(), func(t *testing.T) {
+			base := run(1, mode)
+			if len(base) == 0 {
+				t.Fatal("empty metrics JSON")
+			}
+			if rerun := run(1, mode); !bytes.Equal(rerun, base) {
+				t.Error("two serial runs diverged")
+			}
+			if parallel := run(4, mode); !bytes.Equal(parallel, base) {
+				t.Error("4-worker run diverged from the serial reference")
+			}
+			switch mode {
+			case pdn.ModeAuto:
+				autoBase = base
+			case pdn.ModePhasor:
+				if !bytes.Equal(base, autoBase) {
+					t.Error("phasor run diverged from the auto default")
+				}
+			}
+		})
 	}
 }
 

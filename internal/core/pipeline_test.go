@@ -120,7 +120,7 @@ func TestPipelineSerialParallelDeterministic(t *testing.T) {
 	// nothing about the caches. NoC memo hits need the exact (flows, PSN)
 	// pair to recur, which is workload-dependent, so only population is
 	// asserted here; hit semantics are covered by TestNoCMeasurementMemo.
-	if hits, _, _ := eng.Chip().PSNCacheStats(); hits == 0 {
+	if eng.Chip().PSNCacheStats().Hits == 0 {
 		t.Error("PSN solve cache never hit")
 	}
 	if _, misses := eng.NoCCacheStats(); misses == 0 {

@@ -65,20 +65,68 @@ type TileLoad struct {
 	BurstHz float64
 }
 
+// Mode selects the transient solver algorithm. The domain circuit is
+// linear time-invariant, so ModeExpm and ModePhasor solve it exactly;
+// ModeRK4 is the numerical-integration reference they are cross-checked
+// against (TestModesAgree). All modes measure the same sampling grid and
+// are individually deterministic (bit-identical results for identical
+// inputs).
+type Mode uint8
+
+const (
+	// ModeAuto resolves to ModePhasor, the fastest exact path.
+	ModeAuto Mode = iota
+	// ModeRK4 integrates the transient with classic Runge-Kutta 4.
+	ModeRK4
+	// ModeExpm steps the exact discrete solution x_{k+1} = Φ·x_k + forced
+	// response, with Φ = exp(A·h) from scaling-and-squaring + Padé.
+	ModeExpm
+	// ModePhasor evaluates the periodic steady state directly on the
+	// sampling grid from per-harmonic complex admittance solves, with no
+	// time stepping at all.
+	ModePhasor
+)
+
+// String returns "auto", "rk4", "expm" or "phasor".
+func (m Mode) String() string {
+	switch m {
+	case ModeRK4:
+		return "rk4"
+	case ModeExpm:
+		return "expm"
+	case ModePhasor:
+		return "phasor"
+	default:
+		return "auto"
+	}
+}
+
+// resolved maps ModeAuto to the concrete default algorithm. Solve-cache
+// keys store the resolved mode, so auto and its target share cache entries.
+func (m Mode) resolved() Mode {
+	if m == ModeAuto {
+		return ModePhasor
+	}
+	return m
+}
+
 // Config parameterizes one transient domain simulation.
 type Config struct {
 	// Params supplies the per-technology-node electrical constants.
 	Params power.NodeParams
 	// Vdd is the regulator output voltage.
 	Vdd power.Volts
-	// Dt is the integration step. Zero selects 10 ps.
+	// Dt is the integration step. Zero selects 20 ps.
 	Dt power.Seconds
-	// Duration is the simulated window. Zero selects 80 ns.
+	// Duration is the simulated window. Zero selects 60 ns.
 	Duration power.Seconds
 	// BurstHz is the fundamental frequency of the workload switching
 	// waveform. Zero selects 125 MHz, near the package LC resonance where
 	// droop is worst.
 	BurstHz float64
+	// Mode selects the solver algorithm. The zero value (ModeAuto) selects
+	// the phasor steady-state fast path.
+	Mode Mode
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +139,7 @@ func (c Config) withDefaults() Config {
 	if c.BurstHz <= 0 {
 		c.BurstHz = 125e6
 	}
+	c.Mode = c.Mode.resolved()
 	return c
 }
 
@@ -375,6 +424,9 @@ func validate(cfg Config, loads [DomainTiles]TileLoad) error {
 	if p.RBump <= 0 || p.LBump <= 0 || p.RGrid <= 0 || p.CDecap <= 0 {
 		return fmt.Errorf("pdn: non-physical node parameters %+v", p)
 	}
+	if cfg.Mode > ModePhasor {
+		return fmt.Errorf("pdn: unknown solver mode %d", cfg.Mode)
+	}
 	for i, ld := range loads {
 		if ld.IAvg < 0 || ld.Activity < 0 || ld.Activity > 1 {
 			return fmt.Errorf("pdn: invalid load %d: %+v", i, ld)
@@ -395,16 +447,30 @@ func SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result, error) {
 	if err := validate(cfg, loads); err != nil {
 		return Result{}, err
 	}
-	return simulate(cfg, loads, &solverScratch{})
+	return simulate(cfg, loads, &solverScratch{}, nil)
 }
 
-// simulate is the transient-integration core shared by SimulateDomain and
-// Solver. cfg must have defaults applied and inputs validated. scratch
-// supplies the reusable buffers; a Solver threads one through consecutive
-// solves, the one-shot path hands in a fresh set.
+// simulate dispatches one validated, defaulted solve to the algorithm
+// selected by cfg.Mode. scratch supplies the reusable buffers; caches (nil
+// for the one-shot path) memoizes the load-independent electrical
+// factorizations the exact modes reuse across solves.
+func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *solverScratch, caches *ltiCaches) (Result, error) {
+	switch cfg.Mode {
+	case ModeExpm:
+		return simulateExpm(cfg, loads, scratch, caches)
+	case ModePhasor:
+		return simulatePhasor(cfg, loads, scratch, caches)
+	default:
+		return simulateRK4(cfg, loads, scratch)
+	}
+}
+
+// simulateRK4 is the numerical-integration reference path: classic RK4
+// over the tabulated current waveforms. The exact modes are cross-checked
+// against it. cfg must have defaults applied and inputs validated.
 //
 //parm:hot
-func simulate(cfg Config, loads [DomainTiles]TileLoad, scratch *solverScratch) (Result, error) {
+func simulateRK4(cfg Config, loads [DomainTiles]TileLoad, scratch *solverScratch) (Result, error) {
 	c := newCircuit(cfg, loads)
 	st, err := c.dcOperatingPoint(scratch)
 	if err != nil {

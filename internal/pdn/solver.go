@@ -54,6 +54,7 @@ type solveKey struct {
 	dt       power.Seconds
 	duration power.Seconds
 	burstHz  float64
+	mode     Mode // resolved (never ModeAuto), so auto and phasor share entries
 	loads    [DomainTiles]TileLoad
 }
 
@@ -72,6 +73,11 @@ type SolveCache struct {
 	m      map[solveKey]Result
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// clears counts wholesale resets on overflow; evicted totals the
+	// entries those resets dropped. Both are guarded by mu (they only
+	// change under the write lock store already holds).
+	clears  uint64
+	evicted uint64
 }
 
 // NewSolveCache returns an empty cache.
@@ -94,18 +100,42 @@ func (c *SolveCache) lookup(k solveKey) (Result, bool) {
 func (c *SolveCache) store(k solveKey, r Result) {
 	c.mu.Lock()
 	if len(c.m) >= maxCacheEntries {
+		c.clears++
+		c.evicted += uint64(len(c.m))
 		c.m = make(map[solveKey]Result)
 	}
 	c.m[k] = r
 	c.mu.Unlock()
 }
 
-// Stats reports cache hits, misses, and current entry count.
-func (c *SolveCache) Stats() (hits, misses uint64, entries int) {
+// CacheStats is a point-in-time snapshot of a SolveCache's lifetime
+// counters and current size.
+type CacheStats struct {
+	// Hits and Misses count lookups since creation.
+	Hits, Misses uint64
+	// Clears counts wholesale overflow resets (the cache drops everything
+	// when it exceeds its entry bound); Evicted totals the entries those
+	// resets dropped. A nonzero Clears on a real run means the workload's
+	// key population outgrew maxCacheEntries — pathological churn the
+	// previous Stats form silently hid.
+	Clears, Evicted uint64
+	// Entries is the current population.
+	Entries int
+}
+
+// Stats reports the cache's hit/miss/eviction counters and current entry
+// count.
+func (c *SolveCache) Stats() CacheStats {
 	c.mu.RLock()
-	n := len(c.m)
+	s := CacheStats{
+		Clears:  c.clears,
+		Evicted: c.evicted,
+		Entries: len(c.m),
+	}
 	c.mu.RUnlock()
-	return c.hits.Load(), c.misses.Load(), n
+	s.Hits = c.hits.Load()
+	s.Misses = c.misses.Load()
+	return s
 }
 
 // Solver runs domain transient simulations with reusable scratch buffers
@@ -115,6 +145,11 @@ func (c *SolveCache) Stats() (hits, misses uint64, entries int) {
 type Solver struct {
 	cache   *SolveCache
 	scratch solverScratch
+	// lti memoizes the load-independent electrical factorizations (step
+	// propagators, admittance LUs) the exact solver modes reuse across
+	// solves — these hit even when the solve cache misses on a new load
+	// signature.
+	lti ltiCaches
 }
 
 // NewSolver returns a Solver backed by cache. A nil cache disables
@@ -136,7 +171,7 @@ func (s *Solver) SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result
 	}
 	loads = QuantizeLoads(loads)
 	if s.cache == nil {
-		return simulate(cfg, loads, &s.scratch)
+		return simulate(cfg, loads, &s.scratch, &s.lti)
 	}
 	key := solveKey{
 		params:   cfg.Params,
@@ -144,12 +179,13 @@ func (s *Solver) SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result
 		dt:       cfg.Dt,
 		duration: cfg.Duration,
 		burstHz:  cfg.BurstHz,
+		mode:     cfg.Mode,
 		loads:    loads,
 	}
 	if r, ok := s.cache.lookup(key); ok {
 		return r, nil
 	}
-	r, err := simulate(cfg, loads, &s.scratch)
+	r, err := simulate(cfg, loads, &s.scratch, &s.lti)
 	if err != nil {
 		return Result{}, err
 	}

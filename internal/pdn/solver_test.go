@@ -46,9 +46,9 @@ func TestSolverCachedMatchesUncached(t *testing.T) {
 			t.Fatalf("trial %d: cached result differs:\n got %+v\nwant %+v", trial, got, want)
 		}
 	}
-	hits, misses, entries := cached.cache.Stats()
-	if misses != 1 || hits != 2 || entries != 1 {
-		t.Errorf("cache stats hits=%d misses=%d entries=%d, want 2/1/1", hits, misses, entries)
+	st := cached.cache.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Errorf("cache stats hits=%d misses=%d entries=%d, want 2/1/1", st.Hits, st.Misses, st.Entries)
 	}
 }
 
@@ -68,7 +68,7 @@ func TestSolverQuantizationHits(t *testing.T) {
 	if _, err := s.SimulateDomain(cfg, jittered); err != nil {
 		t.Fatal(err)
 	}
-	if hits, _, _ := s.cache.Stats(); hits != 1 {
+	if hits := s.cache.Stats().Hits; hits != 1 {
 		t.Errorf("sub-quantum jitter missed the cache (hits=%d)", hits)
 	}
 	moved := base
@@ -76,8 +76,8 @@ func TestSolverQuantizationHits(t *testing.T) {
 	if _, err := s.SimulateDomain(cfg, moved); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses, entries := s.cache.Stats(); misses != 2 || entries != 2 {
-		t.Errorf("distinct load reused a stale entry (misses=%d entries=%d)", misses, entries)
+	if st := s.cache.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("distinct load reused a stale entry (misses=%d entries=%d)", st.Misses, st.Entries)
 	}
 }
 
@@ -113,7 +113,7 @@ func TestSolverRejectsBadInput(t *testing.T) {
 	if _, err := s.SimulateDomain(Config{Params: p, Vdd: 0.5}, bad); err == nil {
 		t.Error("negative load accepted")
 	}
-	if _, _, entries := s.cache.Stats(); entries != 0 {
+	if s.cache.Stats().Entries != 0 {
 		t.Error("invalid inputs were cached")
 	}
 }
@@ -183,8 +183,8 @@ func TestSolveCacheConcurrent(t *testing.T) {
 			}
 		}
 	}
-	if hits, misses, _ := cache.Stats(); hits+misses != 8*3*uint64(len(vdds)) {
-		t.Errorf("stats lost updates: hits=%d misses=%d", hits, misses)
+	if st := cache.Stats(); st.Hits+st.Misses != 8*3*uint64(len(vdds)) {
+		t.Errorf("stats lost updates: hits=%d misses=%d", st.Hits, st.Misses)
 	}
 }
 
@@ -215,4 +215,34 @@ func BenchmarkSolverCached(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Driving the cache past maxCacheEntries triggers a wholesale clear, and the
+// Stats counters expose it: one clear, maxCacheEntries entries evicted, and
+// the population restarted from the overflowing insert.
+func TestSolveCacheOverflow(t *testing.T) {
+	c := NewSolveCache()
+	var k solveKey
+	for i := 0; i <= maxCacheEntries; i++ {
+		// Distinct keys: vary the quantized average current of tile 0.
+		k.loads[0].IAvg = float64(i) * iavgQuantum
+		c.store(k, Result{})
+	}
+	st := c.Stats()
+	if st.Clears != 1 {
+		t.Errorf("Clears = %d, want 1", st.Clears)
+	}
+	if st.Evicted != maxCacheEntries {
+		t.Errorf("Evicted = %d, want %d", st.Evicted, maxCacheEntries)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1 (the overflowing insert)", st.Entries)
+	}
+	// The cache still works after the reset.
+	if _, ok := c.lookup(k); !ok {
+		t.Error("overflowing insert not retrievable after clear")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", st.Hits)
+	}
 }
