@@ -14,11 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered handlers serve only when -pprof is set
 	"os"
 	"strings"
 
 	"parm/internal/expr"
+	"parm/internal/obs"
 	"parm/internal/report"
 )
 
@@ -34,8 +38,21 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		bench    = flag.Bool("bench", false, "run the solver/engine benchmark harness instead of the figures")
 		benchOut = flag.String("benchout", "BENCH_parm.json", "benchmark JSON output path (with -bench)")
+
+		metricsOut  = flag.String("metrics-out", "", "write the aggregated telemetry snapshot as JSON to this file")
+		timelineOut = flag.String("timeline", "", "write engine events as Chrome trace JSON to this file (runs interleave across parallel cells)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	if *bench {
 		verbose := func(format string, args ...interface{}) {
@@ -60,6 +77,12 @@ func main() {
 		opt.Verbose = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *metricsOut != "" {
+		opt.Telemetry = obs.NewRegistry()
+	}
+	if *timelineOut != "" {
+		opt.Timeline = obs.NewTimeline(1 << 16)
 	}
 
 	emit := func(t *report.Table) {
@@ -125,4 +148,31 @@ func main() {
 	if all || want["profiles"] {
 		emit(expr.BenchmarkProfileTable())
 	}
+	if opt.Telemetry != nil {
+		if err := writeFile(*metricsOut, opt.Telemetry.WriteSnapshot); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if opt.Timeline != nil {
+		if n := opt.Timeline.Dropped(); n > 0 {
+			log.Printf("timeline: %d events dropped (buffer full); earliest events are missing", n)
+		}
+		if err := writeFile(*timelineOut, opt.Timeline.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeFile creates path and streams write into it, folding the close error
+// into the result.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -10,11 +10,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered handlers serve only when -pprof is set
 	"os"
 
 	"parm/internal/appmodel"
 	"parm/internal/core"
+	"parm/internal/obs"
 	"parm/internal/power"
 	"parm/internal/report"
 )
@@ -38,8 +42,22 @@ func main() {
 		loadPath = flag.String("load", "", "load the workload from a JSON file instead of generating it")
 		explain  = flag.Bool("explain", false, "print Algorithm 1's selection trace for the first application")
 		savePath = flag.String("save", "", "save the generated workload as JSON to this file")
+
+		metricsOut  = flag.String("metrics-out", "", "write the telemetry counter snapshot as JSON to this file")
+		timelineOut = flag.String("timeline", "", "write the engine event timeline as Chrome trace JSON to this file (load at ui.perfetto.dev)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		psnWorkers  = flag.Int("psnworkers", 0, "PSN solver workers per sample (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	fw, err := core.Combo(*mapper, *routing)
 	if err != nil {
@@ -87,6 +105,7 @@ func main() {
 
 	cfg := core.Config{SoftDeadlines: *soft}
 	cfg.Chip.DsPB = power.Watts(*dspb)
+	cfg.Chip.PSNWorkers = *psnWorkers
 	if *explain {
 		steps, err := core.ExplainOnEmptyChip(cfg, fw, w.Apps[0])
 		if err != nil {
@@ -133,9 +152,33 @@ func main() {
 	if *traceCSV != "" {
 		trace = eng.EnableTrace()
 	}
+	var registry *obs.Registry
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+		eng.EnableTelemetry(registry)
+	}
+	var timeline *obs.Timeline
+	if *timelineOut != "" {
+		timeline = obs.NewTimeline(1 << 16)
+		eng.AttachTimeline(timeline)
+	}
 	m, err := eng.Run(w)
 	if err != nil {
 		log.Fatal(err)
+	}
+	eng.CollectCacheStats(m)
+	if registry != nil {
+		if err := writeFile(*metricsOut, registry.WriteSnapshot); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if timeline != nil {
+		if timeline.Dropped() > 0 {
+			log.Printf("timeline: %d events dropped (buffer full); earliest events are missing", timeline.Dropped())
+		}
+		if err := writeFile(*timelineOut, timeline.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *traceCSV != "" {
 		f, err := os.Create(*traceCSV)
@@ -166,6 +209,14 @@ func main() {
 	t.AddRow("voltage emergencies", m.TotalVEs)
 	t.AddRow("mean packet latency (cycles)", m.MeanPacketLatency)
 	t.AddRow("total energy (J)", m.TotalEnergyJ)
+	if m.PDNCache != nil {
+		t.AddRow("PDN solve-cache hits / misses", fmt.Sprintf("%d / %d", m.PDNCache.Hits, m.PDNCache.Misses))
+		t.AddRow("PDN solve-cache clears", m.PDNCache.Clears)
+		t.AddRow("PDN solve-cache evicted", m.PDNCache.Evicted)
+	}
+	if m.NoCMemo != nil {
+		t.AddRow("NoC memo hits / misses", fmt.Sprintf("%d / %d", m.NoCMemo.Hits, m.NoCMemo.Misses))
+	}
 	if err := t.Write(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -186,6 +237,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// writeFile creates path and streams write into it, folding the close error
+// into the result.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseKind(s string) (appmodel.WorkloadKind, error) {

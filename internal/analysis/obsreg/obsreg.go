@@ -1,0 +1,154 @@
+// Package obsreg enforces the telemetry layer's two-phase contract
+// (internal/obs): registration is a startup-time operation, updates are the
+// only telemetry the hot paths may perform, and event timestamps carry
+// simulated time.
+//
+// Flagged:
+//
+//   - Registry.Counter / Registry.Gauge / Registry.Histogram calls inside a
+//     loop of a //parm:hot function. Registration takes the registry lock
+//     and may allocate, which breaks the 0 allocs/op discipline hotalloc
+//     guards; pre-register the metric at startup and update it in the loop.
+//   - wall-clock reads (time.Now / time.Since / time.Until) anywhere in the
+//     arguments of a Timeline.Record call. Timeline events must be stamped
+//     with the engine's simulated clock, or replayed runs produce different
+//     traces — the same determinism contract simclock enforces package-wide,
+//     applied to the one API where a wall timestamp is most tempting.
+//
+// Receiver types are matched by name (Registry, Timeline): the analyzer
+// also runs over fixture code that cannot import internal/obs, and no other
+// type in the module uses those names.
+//
+// Suppression is //parm:obsreg on the flagged line or the line above it.
+package obsreg
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/cfg"
+)
+
+// Analyzer flags telemetry registration in hot loops and wall-clock
+// timestamps fed to the event timeline.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsreg",
+	Doc: "flags obs.Registry registration calls inside //parm:hot loops and " +
+		"wall-clock timestamps in obs.Timeline.Record arguments",
+	Run: run,
+}
+
+// registrationMethods are the Registry methods that allocate and lock.
+var registrationMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Suppressed(f, fd.Pos(), "hot") {
+				checkHotBody(pass, f, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isMethodOn(pass, call, "Timeline", "Record") {
+				return true
+			}
+			checkRecordArgs(pass, f, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHotBody flags registration calls inside the loop blocks of one
+// //parm:hot function body.
+func checkHotBody(pass *analysis.Pass, f *ast.File, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	loops := g.LoopBlocks()
+	for _, b := range g.Blocks {
+		if !loops[b] {
+			continue
+		}
+		for _, node := range b.Nodes {
+			cfg.Inspect(node, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !registrationMethods[sel.Sel.Name] {
+					return true
+				}
+				if !isMethodOn(pass, call, "Registry", sel.Sel.Name) {
+					return true
+				}
+				if !pass.Suppressed(f, call.Pos(), "obsreg") {
+					pass.Reportf(call.Pos(), "Registry.%s registers a metric inside a hot loop; "+
+						"pre-register at startup and update the stored handle here", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkRecordArgs flags wall-clock reads anywhere inside the arguments of a
+// Timeline.Record call.
+func checkRecordArgs(pass *analysis.Pass, f *ast.File, record *ast.CallExpr) {
+	for _, arg := range record.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "time" {
+				return true
+			}
+			name := sel.Sel.Name
+			if name == "Now" || name == "Since" || name == "Until" {
+				if !pass.Suppressed(f, call.Pos(), "obsreg") {
+					pass.Reportf(call.Pos(), "time.%s feeds a wall-clock timestamp into Timeline.Record; "+
+						"stamp events with the simulated engine clock", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isMethodOn reports whether call is a method call named method whose
+// receiver's (possibly pointer) named type is called typeName.
+func isMethodOn(pass *analysis.Pass, call *ast.CallExpr, typeName, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}

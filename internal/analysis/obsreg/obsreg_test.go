@@ -1,0 +1,12 @@
+package obsreg_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/obsreg"
+)
+
+func TestObsreg(t *testing.T) {
+	analysistest.Run(t, "testdata", obsreg.Analyzer)
+}

@@ -1,0 +1,90 @@
+// Fixture for the obsreg analyzer: registration inside hot loops and
+// wall-clock timestamps into Timeline.Record fire; startup registration,
+// hot-loop updates on pre-registered handles, sim-clock timestamps, and
+// //parm:obsreg sites do not. The local Registry/Timeline stand-ins mirror
+// internal/obs (fixtures type-check against the standard library alone, so
+// the analyzer matches the receiver type names).
+package fixture
+
+import "time"
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                { return &Counter{} }
+func (r *Registry) Gauge(name string) *Counter                  { return &Counter{} }
+func (r *Registry) Histogram(name string, b []float64) *Counter { return &Counter{} }
+
+type Event struct {
+	Name string
+	TS   float64
+}
+
+type Timeline struct{}
+
+func (t *Timeline) Record(ev Event) {}
+
+//parm:hot
+func hotLoopRegistration(r *Registry, xs []float64) {
+	for range xs {
+		c := r.Counter("pdn/solves") // want `Registry.Counter registers a metric inside a hot loop`
+		c.Inc()
+		g := r.Gauge("pdn/depth") // want `Registry.Gauge registers a metric inside a hot loop`
+		g.Inc()
+		h := r.Histogram("pdn/dist", nil) // want `Registry.Histogram registers a metric inside a hot loop`
+		h.Inc()
+	}
+}
+
+//parm:hot
+func hotLoopUpdateIsFine(r *Registry, xs []float64) {
+	// Pre-registered outside the loop: the sanctioned two-phase pattern.
+	c := r.Counter("noc/flits")
+	for range xs {
+		c.Inc()
+	}
+}
+
+func coldLoopRegistrationIsFine(r *Registry, names []string) []*Counter {
+	// Startup registration may loop (per-domain counters); only //parm:hot
+	// functions are policed.
+	out := make([]*Counter, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.Counter(n))
+	}
+	return out
+}
+
+//parm:hot
+func suppressedRegistration(r *Registry, xs []float64) {
+	for range xs {
+		//parm:obsreg
+		c := r.Counter("justified")
+		c.Inc()
+	}
+}
+
+func wallClockTimestamp(t *Timeline) {
+	t.Record(Event{Name: "map", TS: float64(time.Now().UnixNano())}) // want `time.Now feeds a wall-clock timestamp into Timeline.Record`
+}
+
+func wallClockDuration(t *Timeline, start time.Time) {
+	t.Record(Event{Name: "app", TS: time.Since(start).Seconds()}) // want `time.Since feeds a wall-clock timestamp into Timeline.Record`
+}
+
+func simClockTimestampIsFine(t *Timeline, now float64) {
+	t.Record(Event{Name: "map", TS: now})
+}
+
+func suppressedWallClock(t *Timeline) {
+	//parm:obsreg
+	t.Record(Event{Name: "debug", TS: float64(time.Now().UnixNano())})
+}
+
+func unrelatedRecordIsFine(now float64) {
+	type logger struct{}
+	_ = now
+}

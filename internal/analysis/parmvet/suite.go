@@ -11,7 +11,10 @@
 //   - errsink polices internal/ and cmd/ — library and binary code must
 //     check or explicitly wave through errors;
 //   - simclock polices the simulation pipeline plus the workload/experiment
-//     layers, where wall-clock or global-rand reads break replayability.
+//     layers, where wall-clock or global-rand reads break replayability;
+//   - obsreg polices the whole module: telemetry registration must stay out
+//     of //parm:hot loops and Timeline events must carry simulated, not
+//     wall-clock, timestamps.
 //
 // cmd/parmvet is a thin wrapper around Check; the analysis driver test runs
 // the same suite over ./... so `go test` alone keeps the repository green
@@ -27,6 +30,7 @@ import (
 	"parm/internal/analysis/floateq"
 	"parm/internal/analysis/hotalloc"
 	"parm/internal/analysis/lockhold"
+	"parm/internal/analysis/obsreg"
 	"parm/internal/analysis/poolgo"
 	"parm/internal/analysis/simclock"
 	"parm/internal/analysis/unitsafe"
@@ -85,6 +89,7 @@ func Rules() []driver.Rule {
 			return strings.HasPrefix(p, "parm/internal/") || strings.HasPrefix(p, "parm/cmd/")
 		}},
 		{Analyzer: simclock.Analyzer, Match: matchAny(replayablePackages)},
+		{Analyzer: obsreg.Analyzer, Match: matchPrefix("parm/")},
 	}
 }
 

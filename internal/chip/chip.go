@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"parm/internal/geom"
+	"parm/internal/obs"
 	"parm/internal/pdn"
 	"parm/internal/power"
 )
@@ -125,6 +126,13 @@ type Chip struct {
 	// solverPool recycles pdn.Solver scratch buffers across samples (one
 	// solver is checked out per worker per sample).
 	solverPool sync.Pool
+
+	// Telemetry, pre-registered by Instrument; nil metrics discard updates.
+	obsSamples       *obs.Counter   // chip/psn/samples
+	obsDomainSolves  *obs.Counter   // chip/psn/domain_solves
+	obsWorkerLaunch  *obs.Counter   // chip/psn/worker_launches
+	obsActiveDomains *obs.Histogram // chip/psn/active_domains
+	solverObs        *pdn.SolverObs
 }
 
 // New builds a chip from cfg. It returns an error when the mesh dimensions
@@ -151,7 +159,11 @@ func New(cfg Config) (*Chip, error) {
 	if !cfg.DisablePSNCache {
 		c.solveCache = pdn.NewSolveCache()
 	}
-	c.solverPool.New = func() interface{} { return pdn.NewSolver(c.solveCache) }
+	c.solverPool.New = func() interface{} {
+		s := pdn.NewSolver(c.solveCache)
+		s.Instrument(c.solverObs)
+		return s
+	}
 	for i := range c.occupants {
 		c.occupants[i].App = NoApp
 	}

@@ -117,6 +117,9 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 	if len(jobs) == 0 {
 		return s, nil
 	}
+	c.obsSamples.Inc()
+	c.obsDomainSolves.Add(uint64(len(jobs)))
+	c.obsActiveDomains.Observe(float64(len(jobs)))
 
 	// Phase 2 (parallel): solve the independent domains over the pool.
 	results := make([]pdn.Result, len(jobs))
@@ -125,6 +128,8 @@ func (c *Chip) SamplePSN(routerUtil []float64) (*PSNSample, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Workers engaged this sample (the serial path runs on the caller).
+	c.obsWorkerLaunch.Add(uint64(workers))
 	if workers <= 1 {
 		solver := c.solverPool.Get().(*pdn.Solver)
 		for j := range jobs {

@@ -8,6 +8,7 @@ import (
 	"parm/internal/chip"
 	"parm/internal/mapping"
 	"parm/internal/noc"
+	"parm/internal/obs"
 	"parm/internal/pdn"
 	"parm/internal/power"
 	"parm/internal/sched"
@@ -207,6 +208,12 @@ type Engine struct {
 	nextSampleDue   float64
 
 	trace *Trace
+
+	// tel holds the pre-registered metrics (EnableTelemetry); its nil
+	// pointers make every update a no-op when telemetry is off. timeline
+	// receives the event records (AttachTimeline), nil when disabled.
+	tel      telemetry
+	timeline *obs.Timeline
 }
 
 // NewEngine builds an engine for the framework under cfg.
@@ -244,6 +251,15 @@ func (e *Engine) Chip() *chip.Chip { return e.chip }
 // NoCCacheStats reports how many NoC measurements were served from the memo
 // versus simulated cycle by cycle.
 func (e *Engine) NoCCacheStats() (hits, misses int) { return e.nocHits, e.nocMisses }
+
+// CollectCacheStats attaches the run's measurement-cache counters (the pdn
+// domain-solve cache and the NoC measurement memo) to m. Opt-in because the
+// pdn hit/miss split varies with the PSN worker count; see Metrics.PDNCache.
+func (e *Engine) CollectCacheStats(m *Metrics) {
+	cs := e.chip.PSNCacheStats()
+	m.PDNCache = &cs
+	m.NoCMemo = &NoCMemoStats{Hits: e.nocHits, Misses: e.nocMisses}
+}
 
 func (e *Engine) push(t float64, kind, app int) {
 	e.seq++
@@ -355,6 +371,7 @@ type queueEntry struct {
 // resume is true when an app-exit event just occurred, permitting a stalled
 // combination its retry.
 func (e *Engine) trySchedule(resume bool) error {
+	defer func() { e.tel.queueDepth.Set(int64(len(e.queue))) }()
 	for len(e.queue) > 0 {
 		entry := e.queue[0]
 		if entry.stalled && !resume {
@@ -372,6 +389,8 @@ func (e *Engine) trySchedule(resume bool) error {
 			e.queue = e.queue[1:]
 			o := e.outcomes[entry.app.ID]
 			o.State = StateDropped
+			e.tel.dropped.Inc()
+			e.timeline.Record(obs.TimelineEvent{Name: "drop", TS: e.now, App: entry.app.ID})
 			if e.now > e.metrics.TotalTime {
 				e.metrics.TotalTime = e.now
 			}
@@ -447,11 +466,13 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 	for _, vdd := range vdds {
 		minWCET := inf // per-Vdd WCET minimum seen so far in the DoP scan
 		for _, dop := range dops {
+			e.tel.candidates.Inc()
 			wcet := app.Bench.WCETEstimate(e.chip.Node, vdd, dop)
 			if wcet < bestWCET {
 				bestVdd, bestDoP, bestWCET = vdd, dop, wcet
 			}
 			if wcet >= remaining {
+				e.tel.rejDeadline.Inc()
 				if wcet > minWCET {
 					// Past the sync knee: WCET is rising as DoP falls, so
 					// lower DoPs are no faster; next (higher) Vdd (line 13).
@@ -486,6 +507,7 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 	}
 	if feasible || e.cfg.SoftDeadlines {
 		entry.stalled = true
+		e.tel.stalls.Inc()
 		return decWait, nil
 	}
 	return decDropped, nil
@@ -499,10 +521,12 @@ const inf = 1e308
 func (e *Engine) tryMapAt(app *appmodel.App, vdd power.Volts, dop int, wcet float64) (bool, error) {
 	pw := app.Bench.PowerEstimate(e.chip.Node, vdd, dop)
 	if pw > e.chip.Budget.Available() {
+		e.tel.rejBudget.Inc()
 		return false, nil
 	}
 	placement, ok := e.fw.Mapper.Map(e.chip, app.Graph(dop))
 	if !ok {
+		e.tel.rejRegion.Inc()
 		return false, nil
 	}
 	if err := e.commit(app, vdd, dop, placement, pw, wcet); err != nil {
@@ -587,6 +611,10 @@ func (e *Engine) commit(app *appmodel.App, vdd power.Volts, dop int, p *mapping.
 	o.WaitTime = e.now - app.Arrival
 	o.AvgPacketLatency = avgLat
 
+	e.tel.mapped.Inc()
+	e.tel.waitS.Observe(o.WaitTime)
+	e.timeline.Record(obs.TimelineEvent{Name: "map", TS: e.now, App: app.ID, Arg: int64(dop)})
+
 	// Paper §5.1: PSN is sampled when an application begins execution.
 	return e.eventSample()
 }
@@ -606,6 +634,10 @@ func (e *Engine) complete(ra *runningApp) error {
 	if e.now > e.metrics.TotalTime {
 		e.metrics.TotalTime = e.now
 	}
+
+	// The app's residency as one span, plus the unmap instant.
+	e.timeline.Record(obs.TimelineEvent{Name: "app", TS: ra.mappedAt, Dur: e.now - ra.mappedAt, App: ra.app.ID, Arg: int64(ra.ves)})
+	e.timeline.Record(obs.TimelineEvent{Name: "unmap", TS: e.now, App: ra.app.ID})
 
 	// Re-measure the network for the remaining apps' router activity and
 	// take the unmap-event PSN sample (paper §5.1).
@@ -695,6 +727,7 @@ func (e *Engine) measurementFor(flows []noc.Flow) (*noc.Result, error) {
 			m := &e.nocMemo[i]
 			if flowsEqual(m.flows, flows) && floatsEqual(m.psn, e.env.PSN) {
 				e.nocHits++
+				e.tel.nocHits.Inc()
 				return m.res, nil
 			}
 		}
@@ -706,6 +739,17 @@ func (e *Engine) measurementFor(flows []noc.Flow) (*noc.Result, error) {
 	net.Run(e.cfg.WarmupCycles)
 	res := net.Measure(e.cfg.WindowCycles)
 	e.nocMisses++
+	e.tel.nocMisses.Inc()
+	e.tel.nocWindows.Inc()
+	e.tel.warmupCyc.Add(uint64(e.cfg.WarmupCycles))
+	e.tel.measuredCyc.Add(uint64(res.Cycles))
+	var inj, del uint64
+	for i := range res.Flows {
+		inj += uint64(res.Flows[i].InjectedFlits)
+		del += uint64(res.Flows[i].DeliveredFlits)
+	}
+	e.tel.flitsInj.Add(inj)
+	e.tel.flitsDel.Add(del)
 	if e.cfg.DisableNoCCache {
 		return res, nil
 	}
@@ -805,6 +849,13 @@ func (e *Engine) periodicSample() error {
 		return err
 	}
 	if s != nil {
+		if e.tel.domainVEs != nil {
+			for d, p := range s.DomainPeak {
+				if p > pdn.VEThreshold {
+					e.tel.domainVE(d).Inc()
+				}
+			}
+		}
 		ids := make([]int, 0, len(e.running))
 		for id := range e.running {
 			ids = append(ids, id)
@@ -827,6 +878,8 @@ func (e *Engine) periodicSample() error {
 			if n > 8 {
 				n = 8
 			}
+			e.tel.ves.Add(uint64(n))
+			e.timeline.Record(obs.TimelineEvent{Name: "ve", TS: e.now, App: id, Arg: int64(n)})
 			ra.ves += n
 			e.outcomes[id].VEs = ra.ves // keep outcomes current for apps that never finish
 			penalty := float64(n) * sched.RollbackPenalty(ra.freq)
@@ -853,6 +906,8 @@ func (e *Engine) samplePSN() (*chip.PSNSample, error) {
 		e.sensor.Record(t, s.TilePeak[t])
 		e.env.PSN[t] = e.sensor.Read(t)
 	}
+	e.tel.sensorSamples.Add(uint64(len(s.TilePeak)))
+	e.timeline.Record(obs.TimelineEvent{Name: "sample", TS: e.now, App: -1, Arg: int64(len(e.running))})
 	if p := s.ChipPeak(); p > e.metrics.PeakPSN {
 		e.metrics.PeakPSN = p
 	}

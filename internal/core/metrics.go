@@ -2,6 +2,7 @@ package core
 
 import (
 	"parm/internal/appmodel"
+	"parm/internal/pdn"
 	"parm/internal/power"
 )
 
@@ -81,6 +82,21 @@ type Metrics struct {
 	TotalEnergyJ float64
 
 	Apps []AppOutcome
+
+	// PDNCache and NoCMemo optionally carry the run's measurement-cache
+	// counters (Engine.CollectCacheStats). They stay nil unless the caller
+	// asks for them: cache hit/miss splits depend on the PSN worker count
+	// (concurrent misses on one key race), so they are kept out of the
+	// simulation results that the bit-identical determinism contract covers
+	// and serialized only when present.
+	PDNCache *pdn.CacheStats
+	NoCMemo  *NoCMemoStats
+}
+
+// NoCMemoStats counts NoC measurements served from the engine's measurement
+// memo versus simulated cycle by cycle.
+type NoCMemoStats struct {
+	Hits, Misses int
 }
 
 // SuccessRate returns the fraction of applications completed.

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parm/internal/appmodel"
+	"parm/internal/obs"
+)
+
+// Telemetry must be strictly observational: a run with the full registry and
+// timeline attached serializes byte-identically to one with both disabled.
+func TestEngineRunsByteIdenticalWithTelemetry(t *testing.T) {
+	run := func(enable bool) []byte {
+		cfg := Config{}
+		cfg.Chip.PSNWorkers = 1
+		w := genWorkload(t, appmodel.WorkloadMixed, 6, 0.06, 14)
+		eng, err := NewEngine(cfg, MustCombo("PARM", "PANR"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable {
+			eng.EnableTelemetry(obs.NewRegistry())
+			eng.AttachTimeline(obs.NewTimeline(1 << 12))
+		}
+		m, err := eng.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	off, on := run(false), run(true)
+	if !bytes.Equal(off, on) {
+		t.Error("telemetry-enabled run diverged from the telemetry-off reference")
+	}
+}
+
+// A telemetered run populates every layer's counters and the timeline.
+func TestTelemetryCountersPopulated(t *testing.T) {
+	r := obs.NewRegistry()
+	tl := obs.NewTimeline(1 << 12)
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.EnableTelemetry(r)
+	eng.AttachTimeline(tl)
+	w := genWorkload(t, appmodel.WorkloadMixed, 6, 0.06, 14)
+	m, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{
+		"pdn/cache/hits", "pdn/cache/misses", "pdn/solve/phasor",
+		"pdn/lti/factor_hits", "chip/psn/samples", "chip/psn/domain_solves",
+		"chip/sensor/samples", "noc/memo/misses", "noc/windows",
+		"noc/warmup_cycles", "noc/flits_delivered/PANR",
+		"mapper/candidates", "mapper/mapped",
+	} {
+		if got := r.Counter(name).Value(); got == 0 {
+			t.Errorf("counter %s = 0 after a full run", name)
+		}
+	}
+	if got := r.Counter("mapper/mapped").Value(); int(got) != m.Completed+m.Unfinished {
+		// Every completed or still-running app was mapped exactly once.
+		t.Errorf("mapper/mapped = %d, want %d", got, m.Completed+m.Unfinished)
+	}
+	if int(r.Counter("engine/ves").Value()) != m.TotalVEs {
+		t.Errorf("engine/ves = %d, want %d", r.Counter("engine/ves").Value(), m.TotalVEs)
+	}
+	if tl.Len() == 0 {
+		t.Fatal("timeline recorded no events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range tl.Events() {
+		seen[ev.Name] = true
+		if ev.TS < 0 || ev.TS > m.TotalTime+1e-9 {
+			t.Errorf("event %q timestamp %g outside simulated run [0, %g]", ev.Name, ev.TS, m.TotalTime)
+		}
+	}
+	for _, name := range []string{"map", "unmap", "app", "sample"} {
+		if !seen[name] {
+			t.Errorf("timeline missing %q events", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Error("trace output missing traceEvents")
+	}
+}
+
+// CollectCacheStats attaches the measurement-cache counters and they appear
+// in the JSON; without it the keys stay absent so default output is
+// unchanged.
+func TestCollectCacheStatsJSON(t *testing.T) {
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := genWorkload(t, appmodel.WorkloadMixed, 4, 0.08, 15)
+	m, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var without bytes.Buffer
+	if err := m.WriteJSON(&without); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), "pdn_cache") || strings.Contains(without.String(), "noc_memo") {
+		t.Error("cache stats serialized without CollectCacheStats")
+	}
+
+	eng.CollectCacheStats(m)
+	if m.PDNCache == nil || m.PDNCache.Hits+m.PDNCache.Misses == 0 {
+		t.Fatalf("PDNCache = %+v, want populated", m.PDNCache)
+	}
+	if m.NoCMemo == nil || m.NoCMemo.Misses == 0 {
+		t.Fatalf("NoCMemo = %+v, want at least one measured window", m.NoCMemo)
+	}
+	var with bytes.Buffer
+	if err := m.WriteJSON(&with); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"pdn_cache"`, `"noc_memo"`, `"evicted"`, `"clears"`} {
+		if !strings.Contains(with.String(), key) {
+			t.Errorf("collected JSON missing %s", key)
+		}
+	}
+}
+
+// The CSV schema must not depend on whether any samples were recorded
+// (downstream consumers parse the header once).
+func TestTraceCSVSchemaStable(t *testing.T) {
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := eng.EnableTrace()
+	var emptyCSV bytes.Buffer
+	if err := empty.WriteCSV(&emptyCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	w := genWorkload(t, appmodel.WorkloadCompute, 1, 0.1, 2)
+	if _, err := eng.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Points) == 0 {
+		t.Fatal("trace did not record")
+	}
+	var fullCSV bytes.Buffer
+	if err := empty.WriteCSV(&fullCSV); err != nil {
+		t.Fatal(err)
+	}
+	emptyHeader := strings.SplitN(emptyCSV.String(), "\n", 2)[0]
+	fullHeader := strings.SplitN(fullCSV.String(), "\n", 2)[0]
+	if emptyHeader != fullHeader {
+		t.Errorf("empty-trace header %q != populated header %q", emptyHeader, fullHeader)
+	}
+	if !strings.Contains(emptyHeader, ",dom0") || !strings.Contains(emptyHeader, ",dom14") {
+		t.Errorf("empty-trace header missing per-domain columns: %q", emptyHeader)
+	}
+}

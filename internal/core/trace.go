@@ -27,17 +27,22 @@ type TracePoint struct {
 // Engine.EnableTrace.
 type Trace struct {
 	Points []TracePoint
+	// NumDomains fixes the per-domain column count of the CSV schema, so an
+	// empty trace emits the same header a populated one would.
+	// Engine.EnableTrace sets it from the chip.
+	NumDomains int
 }
 
 // WriteCSV dumps the trace in CSV form: one row per sample with the
-// chip-level aggregates followed by per-domain peaks.
+// chip-level aggregates followed by per-domain peaks. The header schema is
+// identical whether or not any samples were recorded.
 func (tr *Trace) WriteCSV(w io.Writer) error {
-	if len(tr.Points) == 0 {
-		_, err := io.WriteString(w, "t_s,chipPeak,activeAvg,running,queued,budgetW\n")
-		return err
+	domains := tr.NumDomains
+	if len(tr.Points) > 0 {
+		domains = len(tr.Points[0].DomainPeak)
 	}
 	header := "t_s,chipPeak,activeAvg,running,queued,budgetW"
-	for d := range tr.Points[0].DomainPeak {
+	for d := 0; d < domains; d++ {
 		header += fmt.Sprintf(",dom%d", d)
 	}
 	if _, err := fmt.Fprintln(w, header); err != nil {
@@ -74,7 +79,7 @@ func (tr *Trace) MaxPeak() float64 {
 // EnableTrace turns on time-series recording for the next Run. The returned
 // trace is filled in as the simulation progresses.
 func (e *Engine) EnableTrace() *Trace {
-	e.trace = &Trace{}
+	e.trace = &Trace{NumDomains: e.chip.NumDomains()}
 	return e.trace
 }
 

@@ -15,6 +15,7 @@ import (
 	"parm/internal/chip"
 	"parm/internal/core"
 	"parm/internal/noc"
+	"parm/internal/obs"
 	"parm/internal/pdn"
 	"parm/internal/power"
 	"parm/internal/report"
@@ -31,6 +32,15 @@ type Options struct {
 	Engine core.Config
 	// Verbose, when non-nil, receives progress lines.
 	Verbose func(format string, args ...interface{})
+	// Telemetry, when non-nil, is attached to every engine an experiment
+	// creates. The registry is concurrency-safe, so counters aggregate
+	// across the parallel cells of a sweep.
+	Telemetry *obs.Registry
+	// Timeline, when non-nil, receives engine events from every cell.
+	// Cells run concurrently, so events from different runs interleave in
+	// the buffer; attach a timeline when per-run ordering matters only for
+	// single-cell invocations.
+	Timeline *obs.Timeline
 }
 
 func (o Options) withDefaults() Options {
@@ -213,6 +223,12 @@ func RunMetrics(opt Options, fw core.Framework, kind appmodel.WorkloadKind, gap 
 	eng, err := core.NewEngine(opt.Engine, fw)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Telemetry != nil {
+		eng.EnableTelemetry(opt.Telemetry)
+	}
+	if opt.Timeline != nil {
+		eng.AttachTimeline(opt.Timeline)
 	}
 	return eng.Run(w)
 }

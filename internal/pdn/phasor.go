@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"parm/internal/obs"
 	"parm/internal/power"
 )
 
@@ -104,6 +105,8 @@ type facKey struct {
 type ltiCaches struct {
 	phi    map[phiKey]*[ltiStates][ltiStates]float64
 	factor map[facKey]*cluFactor
+	// Telemetry counters set by Solver.Instrument; nil discards updates.
+	phiHits, phiMisses, facHits, facMisses *obs.Counter
 }
 
 // phiFor returns the cached Φ = exp(A·dt) for the circuit, computing and
@@ -112,8 +115,10 @@ type ltiCaches struct {
 func (lc *ltiCaches) phiFor(c *circuit, params power.NodeParams, dt power.Seconds) (*[ltiStates][ltiStates]float64, error) {
 	if lc != nil {
 		if phi, ok := lc.phi[phiKey{params, dt}]; ok {
+			lc.phiHits.Inc()
 			return phi, nil
 		}
+		lc.phiMisses.Inc()
 	}
 	a := c.ltiMatrix()
 	h := float64(dt)
@@ -142,8 +147,10 @@ func (lc *ltiCaches) phiFor(c *circuit, params power.NodeParams, dt power.Second
 func (lc *ltiCaches) factorFor(c *circuit, params power.NodeParams, omega float64) (*cluFactor, error) {
 	if lc != nil {
 		if f, ok := lc.factor[facKey{params, omega}]; ok {
+			lc.facHits.Inc()
 			return f, nil
 		}
+		lc.facMisses.Inc()
 	}
 	a := c.ltiMatrix()
 	f := &cluFactor{}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parm/internal/obs"
 	"parm/internal/power"
 )
 
@@ -78,6 +79,9 @@ type SolveCache struct {
 	// change under the write lock store already holds).
 	clears  uint64
 	evicted uint64
+	// Telemetry mirrors, set once by Instrument before the first lookup.
+	// Nil (uninstrumented) counters discard updates.
+	obsHits, obsMisses, obsClears, obsEvicted *obs.Counter
 }
 
 // NewSolveCache returns an empty cache.
@@ -91,8 +95,10 @@ func (c *SolveCache) lookup(k solveKey) (Result, bool) {
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		c.obsHits.Inc()
 	} else {
 		c.misses.Add(1)
+		c.obsMisses.Inc()
 	}
 	return r, ok
 }
@@ -102,6 +108,8 @@ func (c *SolveCache) store(k solveKey, r Result) {
 	if len(c.m) >= maxCacheEntries {
 		c.clears++
 		c.evicted += uint64(len(c.m))
+		c.obsClears.Inc()
+		c.obsEvicted.Add(uint64(len(c.m)))
 		c.m = make(map[solveKey]Result)
 	}
 	c.m[k] = r
@@ -150,6 +158,9 @@ type Solver struct {
 	// solves — these hit even when the solve cache misses on a new load
 	// signature.
 	lti ltiCaches
+	// modeObs counts solves per resolved mode (index by cfg.Mode after
+	// withDefaults); nil entries discard updates.
+	modeObs [ModePhasor + 1]*obs.Counter
 }
 
 // NewSolver returns a Solver backed by cache. A nil cache disables
@@ -170,6 +181,7 @@ func (s *Solver) SimulateDomain(cfg Config, loads [DomainTiles]TileLoad) (Result
 		return Result{}, err
 	}
 	loads = QuantizeLoads(loads)
+	s.modeObs[cfg.Mode].Inc()
 	if s.cache == nil {
 		return simulate(cfg, loads, &s.scratch, &s.lti)
 	}
