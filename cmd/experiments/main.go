@@ -23,6 +23,7 @@ import (
 
 	"parm/internal/expr"
 	"parm/internal/obs"
+	"parm/internal/reliability"
 	"parm/internal/report"
 )
 
@@ -31,9 +32,11 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figures: 1, 3a, 3b, 6, 7, 8, overhead, darksilicon, profiles, or all")
+		figs     = flag.String("fig", "all", "comma-separated figures: 1, 3a, 3b, 6, 7, 8, overhead, darksilicon, profiles, or all; reliability is opt-in (not part of all)")
 		numApps  = flag.Int("apps", 20, "applications per sequence for Figs 6-8")
 		seed     = flag.Int64("seed", 42, "workload generation seed")
+		trials   = flag.Int("trials", 20, "Monte-Carlo fault trials per scheme (with -fig reliability)")
+		relOut   = flag.String("relout", "", "write the reliability campaign result as JSON to this file (with -fig reliability)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		bench    = flag.Bool("bench", false, "run the solver/engine benchmark harness instead of the figures")
@@ -147,6 +150,28 @@ func main() {
 	}
 	if all || want["profiles"] {
 		emit(expr.BenchmarkProfileTable())
+	}
+	if want["reliability"] {
+		// Opt-in: 4 schemes x trials full engine runs with fault injection
+		// (which forces fresh NoC measurements) is far heavier than the
+		// figure sweeps, so "all" does not include it.
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "reliability: %d trials x 4 schemes, seed %d\n", *trials, *seed)
+		}
+		res, err := reliability.Run(reliability.Config{
+			Trials:    *trials,
+			Seed:      *seed,
+			Telemetry: opt.Telemetry,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(res.Table())
+		if *relOut != "" {
+			if err := writeFile(*relOut, res.WriteJSON); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	if opt.Telemetry != nil {
 		if err := writeFile(*metricsOut, opt.Telemetry.WriteSnapshot); err != nil {

@@ -48,7 +48,42 @@ type Config struct {
 	// measurement knobs live in Chip (PSNWorkers, DisablePSNCache, and
 	// PSNMode, which selects the domain transient solver algorithm).
 	DisableNoCCache bool
+	// VEModel selects how voltage emergencies become completion-time
+	// penalties. The zero value VELegacy keeps the closed-form expected
+	// penalty every recorded experiment table was produced with; VERollback
+	// replays a seeded fault plan through an explicit checkpoint/rollback
+	// executor (DESIGN.md §10).
+	VEModel VEMode
+	// FaultSeed seeds the VERollback fault plan and, when NoCFaultInjection
+	// is set, the NoC packet-drop model. Zero selects 1. Runs with the same
+	// seed replay bit-identically regardless of PSN worker count.
+	FaultSeed int64
+	// NoCFaultInjection installs a seeded noise-proportional packet-drop
+	// model in every NoC measurement, populating the per-flow drop,
+	// retransmission, recovery and loss counters aggregated in
+	// Metrics.NoCFaults. It forces DisableNoCCache: a memoized measurement
+	// would skip the drop model's random draws and desynchronize the
+	// stream.
+	NoCFaultInjection bool
+	// NoCDropScale and NoCDropCap parameterize the drop model: probability
+	// scale per unit of threshold exceedance and its cap. Zero selects the
+	// noc.NewNoiseDropModel defaults (0.5 and 0.75).
+	NoCDropScale, NoCDropCap float64
 }
+
+// VEMode selects the engine's voltage-emergency penalty model.
+type VEMode int
+
+const (
+	// VELegacy charges the closed-form penalty: an exceedance-proportional
+	// VE count clamped at 8 (legacyVECount), each costing the expected
+	// sched.RollbackPenalty. Deterministic given the PSN trajectory.
+	VELegacy VEMode = iota
+	// VERollback draws per-sample VE counts from a seeded sched.FaultPlan
+	// and charges the actual lost work through a per-app sched.Executor:
+	// rollback to the last checkpoint watermark plus restart overhead.
+	VERollback
+)
 
 func (c Config) withDefaults() Config {
 	if c.SamplePeriod <= 0 {
@@ -68,6 +103,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SensorBits == 0 {
 		c.SensorBits = 6
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 1
+	}
+	if c.NoCFaultInjection {
+		c.DisableNoCCache = true
 	}
 	return c
 }
@@ -162,6 +203,8 @@ type runningApp struct {
 	completionTime float64
 	ves            int
 	avgLat         float64
+	// exec tracks checkpointed progress in VERollback mode; nil in VELegacy.
+	exec *sched.Executor
 }
 
 // Engine simulates one framework executing one workload on one chip.
@@ -198,6 +241,13 @@ type Engine struct {
 	// rebuilding the flow list allocation on every event.
 	flowsBuf []noc.Flow
 	idsBuf   []int
+
+	// faultPlan supplies VERollback emergencies; nocFaults, when non-nil,
+	// is installed in every NoC measurement (NoCFaultInjection) and
+	// nocFaultAgg accumulates its per-flow counters across measurements.
+	faultPlan   *sched.FaultPlan
+	nocFaults   noc.FaultModel
+	nocFaultAgg NoCFaultStats
 
 	outcomes map[int]*AppOutcome
 	metrics  Metrics
@@ -242,6 +292,15 @@ func NewEngine(cfg Config, fw Framework) (*Engine, error) {
 	if e.cfg.NoC.Width == 0 {
 		e.cfg.NoC.Width, e.cfg.NoC.Height = c.Mesh.Width, c.Mesh.Height
 	}
+	if cfg.VEModel == VERollback {
+		e.faultPlan = sched.NewFaultPlan(cfg.FaultSeed)
+	}
+	if cfg.NoCFaultInjection {
+		// Offset the seed so the two fault streams are independent even
+		// though they share one configuration knob.
+		e.nocFaults = noc.NewNoiseDropModel(cfg.FaultSeed+1, pdn.VEThreshold,
+			cfg.NoCDropScale, cfg.NoCDropCap)
+	}
 	return e, nil
 }
 
@@ -273,6 +332,7 @@ func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
 		return nil, fmt.Errorf("core: empty workload")
 	}
 	e.metrics = Metrics{Framework: e.fw.Name, Workload: w.Kind.String()}
+	e.nocFaultAgg = NoCFaultStats{}
 	e.arrivalsLeft = len(w.Apps)
 	apps := make(map[int]*appmodel.App, len(w.Apps))
 	for _, a := range w.Apps {
@@ -328,8 +388,14 @@ func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
 			e.metrics.Unfinished++
 		}
 		e.metrics.TotalVEs += o.VEs
+		e.metrics.TotalRollbacks += o.Rollbacks
+		e.metrics.TotalRollbackDelayS += o.RollbackDelayS
 		e.metrics.TotalEnergyJ += o.EnergyJ
 		e.metrics.Apps = append(e.metrics.Apps, *o)
+	}
+	if e.cfg.NoCFaultInjection {
+		agg := e.nocFaultAgg
+		e.metrics.NoCFaults = &agg
 	}
 	if e.psnActiveTime > 0 {
 		e.metrics.AvgPSN = e.psnTimeIntegral / e.psnActiveTime
@@ -601,7 +667,12 @@ func (e *Engine) commit(app *appmodel.App, vdd power.Volts, dop int, p *mapping.
 	if err != nil {
 		return err
 	}
-	ra.completionTime = e.now + makespan
+	if e.cfg.VEModel == VERollback {
+		ra.exec = sched.NewExecutor(ra.freq, makespan, e.now)
+		ra.completionTime = ra.exec.CompletionTime()
+	} else {
+		ra.completionTime = e.now + makespan
+	}
 	e.push(ra.completionTime, evCompletion, app.ID)
 
 	o := e.outcomes[app.ID]
@@ -631,6 +702,11 @@ func (e *Engine) complete(ra *runningApp) error {
 	o.VEs = ra.ves
 	o.EnergyJ = float64(ra.power) * (e.now - ra.mappedAt)
 	o.DeadlineMet = e.now <= ra.app.AbsDeadline()+1e-9
+	if ra.exec != nil {
+		o.Rollbacks = ra.exec.Rollbacks()
+		o.Checkpoints = ra.exec.Checkpoints()
+		o.RollbackDelayS = ra.exec.DelayS()
+	}
 	if e.now > e.metrics.TotalTime {
 		e.metrics.TotalTime = e.now
 	}
@@ -736,8 +812,23 @@ func (e *Engine) measurementFor(flows []noc.Flow) (*noc.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.nocFaults != nil {
+		net.SetFaultModel(e.nocFaults)
+	}
 	net.Run(e.cfg.WarmupCycles)
 	res := net.Measure(e.cfg.WindowCycles)
+	if e.nocFaults != nil {
+		for i := range res.Flows {
+			fs := &res.Flows[i]
+			e.nocFaultAgg.Delivered += fs.DeliveredPackets
+			e.nocFaultAgg.Dropped += fs.DroppedPackets
+			e.nocFaultAgg.Retransmitted += fs.RetransmittedPackets
+			e.nocFaultAgg.Recovered += fs.RecoveredPackets
+			e.nocFaultAgg.Lost += fs.LostPackets
+			e.tel.nocDropped.Add(uint64(fs.DroppedPackets))
+			e.tel.nocRecovered.Add(uint64(fs.RecoveredPackets))
+		}
+	}
 	e.nocMisses++
 	e.tel.nocMisses.Inc()
 	e.tel.nocWindows.Inc()
@@ -872,12 +963,11 @@ func (e *Engine) periodicSample() error {
 			if peak <= pdn.VEThreshold {
 				continue
 			}
-			// Exceedance-proportional VE count, clamped: deeper noise
-			// crosses the margin on more switching events per interval.
-			n := 1 + int((peak/pdn.VEThreshold-1)*8)
-			if n > 8 {
-				n = 8
+			if e.cfg.VEModel == VERollback {
+				e.injectRollbackVEs(id, ra, peak)
+				continue
 			}
+			n := legacyVECount(peak)
 			e.tel.ves.Add(uint64(n))
 			e.timeline.Record(obs.TimelineEvent{Name: "ve", TS: e.now, App: id, Arg: int64(n)})
 			ra.ves += n
@@ -889,6 +979,43 @@ func (e *Engine) periodicSample() error {
 	}
 	e.scheduleSample(e.now + e.cfg.SamplePeriod)
 	return nil
+}
+
+// legacyVECount is the closed-form VE count charged per over-threshold
+// sample: exceedance-proportional — deeper noise crosses the margin on more
+// switching events per interval — and clamped at 8. Callers only invoke it
+// for peaks above pdn.VEThreshold, so the count is at least 1.
+func legacyVECount(peak float64) int {
+	n := 1 + int((peak/pdn.VEThreshold-1)*8)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// injectRollbackVEs runs one application's VERollback path for an
+// over-threshold sample: draw the emergency count from the fault plan
+// (consuming randomness exactly once per over-threshold app, in the
+// caller's sorted-ID order), roll the executor back, and reschedule the
+// completion. A zero draw is a residual VE that corrupted nothing; the
+// plan's randomness is still consumed so later draws stay aligned.
+func (e *Engine) injectRollbackVEs(id int, ra *runningApp, peak float64) {
+	n := e.faultPlan.Draw(peak/pdn.VEThreshold - 1)
+	if n == 0 {
+		return
+	}
+	e.tel.ves.Add(uint64(n))
+	e.tel.rollbacks.Add(uint64(n))
+	e.timeline.Record(obs.TimelineEvent{Name: "ve", TS: e.now, App: id, Arg: int64(n)})
+	ra.ves += n
+	ra.completionTime = ra.exec.InjectVEs(e.now, n)
+	e.push(ra.completionTime, evCompletion, id)
+	// Keep outcomes current for apps that never finish.
+	o := e.outcomes[id]
+	o.VEs = ra.ves
+	o.Rollbacks = ra.exec.Rollbacks()
+	o.Checkpoints = ra.exec.Checkpoints()
+	o.RollbackDelayS = ra.exec.DelayS()
 }
 
 // samplePSN solves the PDN for all active domains, updates sensors and

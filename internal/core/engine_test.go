@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"parm/internal/appmodel"
+	"parm/internal/obs"
 	"parm/internal/pdn"
 	"parm/internal/power"
 )
@@ -368,5 +369,210 @@ func TestAppStateString(t *testing.T) {
 	if StateCompleted.String() != "completed" || StateDropped.String() != "dropped" ||
 		StateUnfinished.String() != "unfinished" {
 		t.Error("AppState.String wrong")
+	}
+}
+
+func TestLegacyVECount(t *testing.T) {
+	th := pdn.VEThreshold
+	for _, tc := range []struct {
+		peak float64
+		want int
+	}{
+		{th * 1.001, 1}, // barely over: one emergency
+		{th * 1.13, 2},  // exceedance 0.13 -> 1 + int(1.04)
+		{th * 1.5, 5},   // exceedance 0.5 -> 1 + 4
+		{th * 2.0, 8},   // exceedance 1.0 -> 9, clamped
+		{th * 10, 8},    // deep noise stays clamped
+	} {
+		if got := legacyVECount(tc.peak); got != tc.want {
+			t.Errorf("legacyVECount(%g) = %d, want %d", tc.peak, got, tc.want)
+		}
+	}
+}
+
+// veHeavyConfig reproduces the TestVEPenaltiesCharged setup: an HM run at
+// high load whose domains exceed the VE threshold.
+func veHeavyWorkload(t *testing.T) *appmodel.Workload {
+	t.Helper()
+	return genWorkload(t, appmodel.WorkloadCompute, 6, 0.04, 12)
+}
+
+// runWithTimeline runs cfg over w capturing the event timeline.
+func runWithTimeline(t *testing.T, cfg Config, w *appmodel.Workload) (*Metrics, *obs.Timeline) {
+	t.Helper()
+	eng, err := NewEngine(cfg, MustCombo("HM", "XY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.NewTimeline(1 << 14)
+	eng.AttachTimeline(tl)
+	m, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tl
+}
+
+// Each application must close exactly one residency span: the stale-event
+// guard (engine.go, case evCompletion) discards completion events whose app
+// was pushed back by VE penalties, so a double completion — which would
+// record a second "app" span and corrupt resource accounting — never
+// happens even when every VE reschedules the completion.
+func TestStaleCompletionGuardSingleSpan(t *testing.T) {
+	m, tl := runWithTimeline(t, Config{SoftDeadlines: true}, veHeavyWorkload(t))
+	if m.TotalVEs == 0 {
+		t.Skip("no VEs at this seed; guard not exercised")
+	}
+	spans := map[int]int{}
+	for _, ev := range tl.Events() {
+		if ev.Name == "app" {
+			spans[ev.App]++
+		}
+	}
+	for _, o := range m.Apps {
+		want := 0
+		if o.State == StateCompleted {
+			want = 1
+		}
+		if got := spans[o.App.ID]; got != want {
+			t.Errorf("app %d closed %d residency spans, want %d", o.App.ID, got, want)
+		}
+	}
+}
+
+// Outcomes stay current for applications the time cap leaves unfinished:
+// VEs charged before the cap must be visible in the final metrics even
+// though complete() never ran for the app.
+func TestUnfinishedOutcomesStayCurrent(t *testing.T) {
+	// Locate the first VE of the untruncated run, then rerun with the
+	// safety cap just after it so the victim app cannot finish.
+	_, tl := runWithTimeline(t, Config{SoftDeadlines: true}, veHeavyWorkload(t))
+	var veT float64
+	var veApp int = -1
+	for _, ev := range tl.Events() {
+		if ev.Name == "ve" {
+			veT, veApp = ev.TS, ev.App
+			break
+		}
+	}
+	if veApp < 0 {
+		t.Skip("no VEs at this seed")
+	}
+	cfg := Config{SoftDeadlines: true, MaxSimTime: veT + 1e-6}
+	m, _ := runWithTimeline(t, cfg, veHeavyWorkload(t))
+	var o *AppOutcome
+	for i := range m.Apps {
+		if m.Apps[i].App.ID == veApp {
+			o = &m.Apps[i]
+		}
+	}
+	if o == nil {
+		t.Fatalf("app %d missing from outcomes", veApp)
+	}
+	if o.State == StateCompleted {
+		t.Fatalf("app %d completed despite the cap at %g", veApp, cfg.MaxSimTime)
+	}
+	if o.VEs == 0 {
+		t.Errorf("unfinished app %d lost its VE count", veApp)
+	}
+	if m.TotalVEs == 0 {
+		t.Error("truncated run reports zero total VEs")
+	}
+}
+
+// VERollback accounting: per-app rollbacks match VEs (each drawn emergency
+// is one rollback), totals aggregate, and the explicit delay is visible.
+func TestRollbackModeAccounting(t *testing.T) {
+	cfg := Config{SoftDeadlines: true, VEModel: VERollback, FaultSeed: 3}
+	m := runOne(t, cfg, MustCombo("HM", "XY"), veHeavyWorkload(t))
+	if m.TotalRollbacks == 0 {
+		t.Skip("no rollbacks at this seed; accounting not exercised")
+	}
+	sumR, sumD := 0, 0.0
+	for _, o := range m.Apps {
+		if o.Rollbacks != o.VEs {
+			t.Errorf("app %d rollbacks %d != VEs %d", o.App.ID, o.Rollbacks, o.VEs)
+		}
+		if o.Rollbacks > 0 && o.RollbackDelayS <= 0 {
+			t.Errorf("app %d has %d rollbacks but zero delay", o.App.ID, o.Rollbacks)
+		}
+		if o.State == StateCompleted && o.Checkpoints == 0 {
+			t.Errorf("completed app %d committed no checkpoints", o.App.ID)
+		}
+		sumR += o.Rollbacks
+		sumD += o.RollbackDelayS
+	}
+	if sumR != m.TotalRollbacks {
+		t.Errorf("per-app rollbacks %d != total %d", sumR, m.TotalRollbacks)
+	}
+	if math.Abs(sumD-m.TotalRollbackDelayS) > 1e-12 {
+		t.Errorf("per-app delay %g != total %g", sumD, m.TotalRollbackDelayS)
+	}
+	if m.TotalVEs != m.TotalRollbacks {
+		t.Errorf("VEs %d != rollbacks %d in rollback mode", m.TotalVEs, m.TotalRollbacks)
+	}
+}
+
+// VELegacy stays the zero value: the recorded experiment tables depend on
+// the default model staying byte-compatible.
+func TestVELegacyIsDefault(t *testing.T) {
+	if VELegacy != 0 {
+		t.Fatal("VELegacy is not the zero VEMode")
+	}
+	var cfg Config
+	if cfg.VEModel != VELegacy {
+		t.Fatal("zero config does not select VELegacy")
+	}
+}
+
+// The rollback fault plan is part of the determinism contract: a fixed
+// FaultSeed replays bit-identically across reruns and PSN worker counts,
+// with NoC fault injection enabled too.
+func TestRollbackModeByteIdentical(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := Config{
+			SoftDeadlines:     true,
+			VEModel:           VERollback,
+			FaultSeed:         9,
+			NoCFaultInjection: true,
+		}
+		cfg.Chip.PSNWorkers = workers
+		w := genWorkload(t, appmodel.WorkloadCompute, 6, 0.04, 12)
+		m := runOne(t, cfg, MustCombo("HM", "XY"), w)
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := run(1)
+	if rerun := run(1); !bytes.Equal(rerun, base) {
+		t.Error("two serial rollback-mode runs diverged")
+	}
+	if parallel := run(4); !bytes.Equal(parallel, base) {
+		t.Error("4-worker rollback-mode run diverged from the serial reference")
+	}
+}
+
+// NoC fault injection populates the aggregate counters and keeps the
+// internal bookkeeping consistent: every drop is either retransmitted or
+// lost, and recoveries never exceed retransmissions.
+func TestNoCFaultInjectionAccounting(t *testing.T) {
+	cfg := Config{SoftDeadlines: true, NoCFaultInjection: true, FaultSeed: 5}
+	m := runOne(t, cfg, MustCombo("HM", "XY"), veHeavyWorkload(t))
+	if m.NoCFaults == nil {
+		t.Fatal("NoCFaults nil with fault injection enabled")
+	}
+	f := m.NoCFaults
+	if f.Retransmitted+f.Lost != f.Dropped {
+		t.Errorf("retransmitted %d + lost %d != dropped %d", f.Retransmitted, f.Lost, f.Dropped)
+	}
+	if f.Recovered > f.Retransmitted {
+		t.Errorf("recovered %d > retransmitted %d", f.Recovered, f.Retransmitted)
+	}
+	// Without fault injection the section is absent.
+	m2 := runOne(t, Config{SoftDeadlines: true}, MustCombo("HM", "XY"), veHeavyWorkload(t))
+	if m2.NoCFaults != nil {
+		t.Error("NoCFaults populated without fault injection")
 	}
 }

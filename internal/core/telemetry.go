@@ -34,8 +34,13 @@ type telemetry struct {
 
 	// PSN / voltage-emergency accounting.
 	ves           *obs.Counter   // engine/ves: VE rollbacks charged
+	rollbacks     *obs.Counter   // engine/rollbacks: explicit executor rollbacks (VERollback)
 	sensorSamples *obs.Counter   // chip/sensor/samples: per-tile sensor records
 	domainVEs     []*obs.Counter // chip/domain/NN/ves: samples with the domain over threshold
+
+	// NoC fault injection (NoCFaultInjection runs only).
+	nocDropped   *obs.Counter // noc/faults/dropped
+	nocRecovered *obs.Counter // noc/faults/recovered
 }
 
 // init registers every engine metric in r. scheme names the routing
@@ -61,7 +66,10 @@ func (t *telemetry) init(r *obs.Registry, scheme string, numDomains int) {
 	t.flitsDel = r.Counter("noc/flits_delivered/" + scheme)
 
 	t.ves = r.Counter("engine/ves")
+	t.rollbacks = r.Counter("engine/rollbacks")
 	t.sensorSamples = r.Counter("chip/sensor/samples")
+	t.nocDropped = r.Counter("noc/faults/dropped")
+	t.nocRecovered = r.Counter("noc/faults/recovered")
 	t.domainVEs = make([]*obs.Counter, numDomains)
 	for d := range t.domainVEs {
 		t.domainVEs[d] = r.Counter(fmt.Sprintf("chip/domain/%02d/ves", d))

@@ -1,0 +1,63 @@
+package noc
+
+import "math/rand"
+
+// FaultModel decides whether a packet that physically reached its
+// destination was corrupted by power supply noise along its path and must
+// be discarded. It is the NoC half of the fault-injection subsystem: a
+// router operating under deep supply noise mis-latches flits, which a CRC
+// at the destination NIC detects, triggering a retransmission from the
+// source. The network asks the model once per arriving packet with the
+// worst PSN sensor reading seen on the packet's route (injection router
+// included), in ejection order — a deterministic sequence, so a seeded
+// model replays bit-identically.
+type FaultModel interface {
+	// DropPacket reports whether a packet whose worst per-hop PSN sensor
+	// reading was maxPSN is lost to corruption.
+	DropPacket(maxPSN float64) bool
+}
+
+// NoiseDropModel is the standard FaultModel: a packet is dropped with
+// probability scale·(maxPSN/threshold − 1), capped at maxProb, once the
+// path's worst PSN exceeds the threshold. Below the threshold packets are
+// never dropped and no randomness is consumed.
+type NoiseDropModel struct {
+	threshold float64
+	scale     float64
+	maxProb   float64
+	rng       *rand.Rand
+}
+
+// NewNoiseDropModel returns a seeded drop model. threshold is the PSN
+// fraction below which packets are never lost (callers pass the VE
+// threshold); scale converts exceedance to drop probability (zero selects
+// 0.5); maxProb caps the probability (zero selects 0.75).
+func NewNoiseDropModel(seed int64, threshold, scale, maxProb float64) *NoiseDropModel {
+	if scale <= 0 {
+		scale = 0.5
+	}
+	if maxProb <= 0 {
+		maxProb = 0.75
+	}
+	if maxProb > 1 {
+		maxProb = 1
+	}
+	return &NoiseDropModel{
+		threshold: threshold,
+		scale:     scale,
+		maxProb:   maxProb,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// DropPacket implements FaultModel.
+func (m *NoiseDropModel) DropPacket(maxPSN float64) bool {
+	if m.threshold <= 0 || maxPSN <= m.threshold {
+		return false
+	}
+	p := m.scale * (maxPSN/m.threshold - 1)
+	if p > m.maxProb {
+		p = m.maxProb
+	}
+	return m.rng.Float64() < p
+}

@@ -1,0 +1,177 @@
+package noc
+
+import (
+	"testing"
+
+	"parm/internal/geom"
+)
+
+// dropAbove is a deterministic FaultModel for tests: it drops every packet
+// whose path noise exceeds the threshold.
+type dropAbove struct{ threshold float64 }
+
+func (d dropAbove) DropPacket(maxPSN float64) bool { return maxPSN > d.threshold }
+
+// noisyEnv returns an Env with the given PSN at every tile of a 10x6 mesh.
+func noisyEnv(psn float64) *Env {
+	e := &Env{PSN: make([]float64, 60)}
+	for i := range e.PSN {
+		e.PSN[i] = psn
+	}
+	return e
+}
+
+func runWindow(t *testing.T, fm FaultModel, env *Env) (*Network, *Result) {
+	t.Helper()
+	flows := []Flow{{Src: 0, Dst: 9, Rate: 0.2}, {Src: 13, Dst: 41, Rate: 0.1}}
+	n, err := NewNetwork(Config{}, XY{}, flows, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaultModel(fm)
+	n.Run(500)
+	return n, n.Measure(4000)
+}
+
+func TestFaultModelDropsAndRetransmits(t *testing.T) {
+	_, res := runWindow(t, dropAbove{threshold: 0.05}, noisyEnv(0.08))
+	var delivered, dropped, retrans, recovered, lost int
+	for _, fs := range res.Flows {
+		delivered += fs.DeliveredPackets
+		dropped += fs.DroppedPackets
+		retrans += fs.RetransmittedPackets
+		recovered += fs.RecoveredPackets
+		lost += fs.LostPackets
+	}
+	if dropped == 0 {
+		t.Fatal("no packets dropped under an always-drop model")
+	}
+	if delivered != 0 {
+		t.Errorf("%d packets delivered although every path exceeds the threshold", delivered)
+	}
+	if retrans+lost != dropped {
+		t.Errorf("retransmitted %d + lost %d != dropped %d", retrans, lost, dropped)
+	}
+	if recovered != 0 {
+		t.Errorf("%d recoveries although nothing can deliver", recovered)
+	}
+}
+
+func TestFaultModelQuietPathsUntouched(t *testing.T) {
+	// Below the threshold nothing is dropped and the stats match a run with
+	// no fault model at all.
+	_, withFM := runWindow(t, dropAbove{threshold: 0.05}, noisyEnv(0.01))
+	_, without := runWindow(t, nil, noisyEnv(0.01))
+	for i := range withFM.Flows {
+		a, b := withFM.Flows[i], without.Flows[i]
+		if a.DroppedPackets != 0 || a.LostPackets != 0 || a.RetransmittedPackets != 0 {
+			t.Errorf("flow %d dropped/lost/retransmitted under quiet PSN: %+v", i, a)
+		}
+		if a.DeliveredPackets != b.DeliveredPackets || a.DeliveredFlits != b.DeliveredFlits ||
+			a.TotalPacketLatency != b.TotalPacketLatency {
+			t.Errorf("flow %d diverged from the fault-free run: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestFaultModelRecoveryAccounting(t *testing.T) {
+	// A model that drops the first k packets it sees: the retransmissions
+	// eventually deliver and must be counted as recoveries. The drops land
+	// in the first few hundred cycles, so read cumulative stats rather than
+	// a measurement-window diff.
+	fm := &dropFirstK{k: 3}
+	n, _ := runWindow(t, fm, noisyEnv(0.08))
+	var dropped, retrans, recovered int
+	for _, fs := range n.stats {
+		dropped += fs.DroppedPackets
+		retrans += fs.RetransmittedPackets
+		recovered += fs.RecoveredPackets
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if retrans == 0 {
+		t.Fatal("nothing retransmitted")
+	}
+	if recovered != retrans {
+		t.Errorf("recovered %d != retransmitted %d (all retransmissions should deliver)", recovered, retrans)
+	}
+}
+
+type dropFirstK struct{ k, seen int }
+
+func (d *dropFirstK) DropPacket(maxPSN float64) bool {
+	if maxPSN <= 0.05 {
+		return false
+	}
+	if d.seen < d.k {
+		d.seen++
+		return true
+	}
+	return false
+}
+
+func TestNoiseDropModelDeterministic(t *testing.T) {
+	run := func() *Result {
+		_, res := runWindow(t, NewNoiseDropModel(17, 0.05, 0, 0), noisyEnv(0.08))
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d diverged across identically seeded runs:\n%+v\n%+v",
+				i, a.Flows[i], b.Flows[i])
+		}
+	}
+}
+
+func TestNoiseDropModelThreshold(t *testing.T) {
+	m := NewNoiseDropModel(1, 0.05, 0.5, 0.75)
+	for i := 0; i < 1000; i++ {
+		if m.DropPacket(0.05) || m.DropPacket(0.01) || m.DropPacket(0) {
+			t.Fatal("dropped a packet at or below the threshold")
+		}
+	}
+	drops := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if m.DropPacket(0.06) { // exceedance 0.2 -> p = 0.1
+			drops++
+		}
+	}
+	got := float64(drops) / trials
+	if got < 0.08 || got > 0.12 {
+		t.Errorf("drop rate at 6%% PSN = %g, want ~0.1", got)
+	}
+	// Far above the threshold the probability saturates at maxProb.
+	drops = 0
+	for i := 0; i < trials; i++ {
+		if m.DropPacket(10) {
+			drops++
+		}
+	}
+	got = float64(drops) / trials
+	if got < 0.73 || got > 0.77 {
+		t.Errorf("saturated drop rate = %g, want ~0.75", got)
+	}
+}
+
+func TestFaultNoiseTracksPath(t *testing.T) {
+	// Only the destination tile is noisy: the path max must still pick it
+	// up, so every packet is dropped by a threshold just below it.
+	env := &Env{PSN: make([]float64, 60)}
+	env.PSN[9] = 0.10
+	flows := []Flow{{Src: 0, Dst: 9, Rate: 0.05}}
+	n, err := NewNetwork(Config{}, XY{}, flows, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaultModel(dropAbove{threshold: 0.05})
+	n.Run(2000)
+	st := n.stats[0]
+	if st.DeliveredPackets != 0 || st.DroppedPackets == 0 {
+		t.Errorf("delivered=%d dropped=%d; destination noise not seen on path",
+			st.DeliveredPackets, st.DroppedPackets)
+	}
+	_ = geom.TileID(0)
+}

@@ -35,6 +35,10 @@ type flit struct {
 	outDir geom.Dir // assigned output at current router (head decides)
 	born   int      // cycle the packet's head was injected
 	routed bool     // head flit: output direction already computed
+	// noise is the worst PSN sensor reading on the route so far, carried by
+	// head flits for the fault model's corruption check; unused (zero) when
+	// no fault model is installed.
+	noise float64
 }
 
 // Flow is one traffic stream: the mapped image of an APG edge. Src and Dst
@@ -63,6 +67,21 @@ type FlowStats struct {
 	TotalPacketLatency int
 	// StalledCycles counts cycles injection was blocked by backpressure.
 	StalledCycles int
+
+	// The remaining counters are populated only when a fault model is
+	// installed (Network.SetFaultModel); they are always zero otherwise.
+	//
+	// DroppedPackets counts packets that reached the destination corrupted
+	// by supply noise and were discarded.
+	DroppedPackets int
+	// RetransmittedPackets counts dropped packets the source NIC re-staged.
+	RetransmittedPackets int
+	// RecoveredPackets counts deliveries that repaid an earlier drop's
+	// retransmission debt.
+	RecoveredPackets int
+	// LostPackets counts dropped packets that could not be retransmitted
+	// (stage queue full): unrecoverable losses.
+	LostPackets int
 }
 
 // AvgPacketLatency returns the mean packet latency in cycles, or 0 when

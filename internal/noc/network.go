@@ -23,13 +23,20 @@ type Config struct {
 	// fraction; zero selects 0.5 (paper §5.1).
 	OccupancyThreshold float64
 	// RateEWMA is the smoothing constant of the incoming-data-rate
-	// estimator in (0,1]; zero selects 0.02.
+	// estimator in (0,1]; zero selects 0.05, the value every recorded
+	// experiment was calibrated against (TestConfigDefaults pins doc and
+	// code together).
 	RateEWMA float64
 }
 
 func (c Config) withDefaults() Config {
-	if c.Width == 0 && c.Height == 0 {
-		c.Width, c.Height = 10, 6
+	// Each dimension defaults independently, so a config that sets only one
+	// (e.g. Width: 8) gets a real mesh instead of a degenerate zero-tile one.
+	if c.Width == 0 {
+		c.Width = 10
+	}
+	if c.Height == 0 {
+		c.Height = 6
 	}
 	if c.BufferFlits == 0 {
 		c.BufferFlits = 8
@@ -91,16 +98,27 @@ type Network struct {
 	arrivalScratch []pendingArrival
 	inFlight       [][geom.NumPorts]int
 
+	// faults, when non-nil, injects noise-induced packet losses at ejection
+	// (SetFaultModel). pendingRecovery[f] counts flow f's retransmissions
+	// still owed a delivery; packetNoise parks each head flit's accumulated
+	// path noise until the tail closes the packet.
+	faults          FaultModel
+	pendingRecovery []int
+	packetNoise     map[[2]int]float64
+
 	cycle int
 }
 
 // NewNetwork builds a network for the given routing algorithm, flow set,
-// and environment. It returns an error when a flow references a tile
-// outside the mesh or has a negative rate.
+// and environment. It returns an error for non-positive mesh dimensions,
+// or when a flow references a tile outside the mesh or has a negative rate.
 func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if alg == nil {
 		return nil, fmt.Errorf("noc: nil routing algorithm")
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("noc: non-positive mesh dimensions %dx%d", cfg.Width, cfg.Height)
 	}
 	mesh := geom.NewMesh(cfg.Width, cfg.Height)
 	n := &Network{
@@ -155,6 +173,20 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 
 // Mesh returns the mesh geometry.
 func (n *Network) Mesh() geom.Mesh { return n.mesh }
+
+// SetFaultModel installs fm as the network's packet-loss model: every
+// packet reaching its destination is checked against the worst PSN sensor
+// reading on its route, and dropped packets are retransmitted from the
+// source NIC while its stage queue has room. Call before the first Step.
+// A nil model (the default) delivers every packet and leaves the hot loop
+// untouched.
+func (n *Network) SetFaultModel(fm FaultModel) {
+	n.faults = fm
+	if fm != nil && n.pendingRecovery == nil {
+		n.pendingRecovery = make([]int, len(n.flows))
+		n.packetNoise = make(map[[2]int]float64)
+	}
+}
 
 // IncomingRate returns the EWMA incoming flit rate of tile t's router.
 func (n *Network) IncomingRate(t geom.TileID) float64 {
@@ -219,6 +251,10 @@ func (n *Network) inject() {
 			continue
 		}
 		k := n.flitToInject(t, fi)
+		if n.faults != nil && (k.kind == KindHead || k.kind == KindHeadTail) {
+			// Path-noise accounting starts at the injection router.
+			k.noise = n.env.psnAt(geom.TileID(t))
+		}
 		r.inputs[lp].push(k)
 		r.buffered++
 		r.received++
@@ -388,19 +424,51 @@ func (n *Network) switchTraversal() []pendingArrival {
 	return arrivals
 }
 
-// eject records delivery statistics for a flit leaving the network.
+// eject records delivery statistics for a flit leaving the network. With a
+// fault model installed, the tail flit closes the packet with a corruption
+// check against the head's accumulated path noise: a dropped packet is
+// retransmitted from the source NIC while its stage queue has room, and a
+// later delivery of the flow repays the debt as a recovery.
 //
 //parm:hot
 func (n *Network) eject(f flit) {
 	st := &n.stats[f.flow]
 	st.DeliveredFlits++
-	if f.kind == KindTail || f.kind == KindHeadTail {
-		st.DeliveredPackets++
-		key := [2]int{f.flow, f.packet}
-		if born, ok := n.packetStarts[key]; ok {
-			st.TotalPacketLatency += n.cycle - born + 1
-			delete(n.packetStarts, key)
+	if n.faults != nil && f.kind == KindHead {
+		// Park the head's path noise until the tail closes the packet.
+		n.packetNoise[[2]int{f.flow, f.packet}] = f.noise
+	}
+	if f.kind != KindTail && f.kind != KindHeadTail {
+		return
+	}
+	key := [2]int{f.flow, f.packet}
+	if n.faults != nil {
+		noise := f.noise
+		if f.kind == KindTail {
+			noise = n.packetNoise[key]
+			delete(n.packetNoise, key)
 		}
+		if n.faults.DropPacket(noise) {
+			st.DroppedPackets++
+			delete(n.packetStarts, key)
+			if n.staged[f.flow] < n.cfg.StagedPackets {
+				n.staged[f.flow]++
+				n.pendingRecovery[f.flow]++
+				st.RetransmittedPackets++
+			} else {
+				st.LostPackets++
+			}
+			return
+		}
+		if n.pendingRecovery[f.flow] > 0 {
+			n.pendingRecovery[f.flow]--
+			st.RecoveredPackets++
+		}
+	}
+	st.DeliveredPackets++
+	if born, ok := n.packetStarts[key]; ok {
+		st.TotalPacketLatency += n.cycle - born + 1
+		delete(n.packetStarts, key)
 	}
 }
 
@@ -411,7 +479,13 @@ func (n *Network) eject(f flit) {
 //
 //parm:hot
 func (n *Network) applyArrivals(arrivals []pendingArrival) {
-	for _, a := range arrivals {
+	for i := range arrivals {
+		a := &arrivals[i]
+		if n.faults != nil && (a.f.kind == KindHead || a.f.kind == KindHeadTail) {
+			if p := n.env.psnAt(a.to); p > a.f.noise {
+				a.f.noise = p
+			}
+		}
 		r := &n.routers[a.to]
 		r.inputs[a.port].push(a.f)
 		r.buffered++
@@ -467,11 +541,15 @@ func (n *Network) Measure(cycles int) *Result {
 	}
 	for i := range n.stats {
 		res.Flows[i] = FlowStats{
-			InjectedFlits:      n.stats[i].InjectedFlits - startStats[i].InjectedFlits,
-			DeliveredFlits:     n.stats[i].DeliveredFlits - startStats[i].DeliveredFlits,
-			DeliveredPackets:   n.stats[i].DeliveredPackets - startStats[i].DeliveredPackets,
-			TotalPacketLatency: n.stats[i].TotalPacketLatency - startStats[i].TotalPacketLatency,
-			StalledCycles:      n.stats[i].StalledCycles - startStats[i].StalledCycles,
+			InjectedFlits:        n.stats[i].InjectedFlits - startStats[i].InjectedFlits,
+			DeliveredFlits:       n.stats[i].DeliveredFlits - startStats[i].DeliveredFlits,
+			DeliveredPackets:     n.stats[i].DeliveredPackets - startStats[i].DeliveredPackets,
+			TotalPacketLatency:   n.stats[i].TotalPacketLatency - startStats[i].TotalPacketLatency,
+			StalledCycles:        n.stats[i].StalledCycles - startStats[i].StalledCycles,
+			DroppedPackets:       n.stats[i].DroppedPackets - startStats[i].DroppedPackets,
+			RetransmittedPackets: n.stats[i].RetransmittedPackets - startStats[i].RetransmittedPackets,
+			RecoveredPackets:     n.stats[i].RecoveredPackets - startStats[i].RecoveredPackets,
+			LostPackets:          n.stats[i].LostPackets - startStats[i].LostPackets,
 		}
 	}
 	for i := range n.routers {

@@ -21,6 +21,57 @@ func TestNewNetworkValidation(t *testing.T) {
 	}
 }
 
+// TestConfigDefaults pins the withDefaults values the documentation
+// promises, so doc comments and code cannot drift apart again (the RateEWMA
+// comment once claimed 0.02 while the code selected 0.05).
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Width != 10 || c.Height != 6 {
+		t.Errorf("default mesh = %dx%d, want 10x6", c.Width, c.Height)
+	}
+	if c.BufferFlits != 8 {
+		t.Errorf("BufferFlits = %d, want 8", c.BufferFlits)
+	}
+	if c.FlitsPerPacket != 5 {
+		t.Errorf("FlitsPerPacket = %d, want 5", c.FlitsPerPacket)
+	}
+	if c.StagedPackets != 4 {
+		t.Errorf("StagedPackets = %d, want 4", c.StagedPackets)
+	}
+	if c.OccupancyThreshold != 0.5 {
+		t.Errorf("OccupancyThreshold = %g, want 0.5", c.OccupancyThreshold)
+	}
+	if c.RateEWMA != 0.05 {
+		t.Errorf("RateEWMA = %g, want 0.05", c.RateEWMA)
+	}
+}
+
+// Each mesh dimension defaults independently: setting only Width must not
+// zero out Height (a Config{Width: 8} once built a degenerate 0-tile mesh).
+func TestMeshDimensionDefaults(t *testing.T) {
+	c := Config{Width: 8}.withDefaults()
+	if c.Width != 8 || c.Height != 6 {
+		t.Errorf("Config{Width:8} = %dx%d, want 8x6", c.Width, c.Height)
+	}
+	c = Config{Height: 4}.withDefaults()
+	if c.Width != 10 || c.Height != 4 {
+		t.Errorf("Config{Height:4} = %dx%d, want 10x4", c.Width, c.Height)
+	}
+	n, err := NewNetwork(Config{Width: 8}, XY{}, []Flow{{Src: 0, Dst: 47, Rate: 0.1}}, &Env{})
+	if err != nil {
+		t.Fatalf("Config{Width:8}: %v", err)
+	}
+	if got := len(n.routers); got != 48 {
+		t.Errorf("router count = %d, want 48", got)
+	}
+	if _, err := NewNetwork(Config{Width: -3, Height: 4}, XY{}, nil, &Env{}); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := NewNetwork(Config{Width: 4, Height: -1}, XY{}, nil, &Env{}); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
 // A single packet over XY arrives with the zero-load latency: hops for the
 // head plus serialization of the remaining flits, plus injection/ejection.
 func TestZeroLoadLatency(t *testing.T) {

@@ -133,6 +133,25 @@ func TestSensorOutOfRangeReads(t *testing.T) {
 	}
 }
 
+// Record must mirror Read's out-of-range semantics: a write to a tile
+// without a sensor is silently dropped, never a panic, and leaves the
+// populated tiles untouched. (Record once indexed unchecked while Read
+// bounds-checked, so the same bad index panicked on write but read as 0.)
+func TestSensorOutOfRangeRecords(t *testing.T) {
+	s := NewSensor(2, 6, 0.20)
+	s.Record(0, 0.10)
+	before := s.Read(0)
+	s.Record(-1, 0.15)
+	s.Record(2, 0.15)
+	s.Record(1000, 0.15)
+	if got := s.Read(0); got != before {
+		t.Errorf("out-of-range Record disturbed tile 0: %g -> %g", before, got)
+	}
+	if s.Read(2) != 0 || s.Read(-1) != 0 {
+		t.Error("out-of-range tile no longer reads as quiet")
+	}
+}
+
 func TestSensorResolutionScalesWithBits(t *testing.T) {
 	coarse := NewSensor(1, 4, 0.20)
 	fine := NewSensor(1, 8, 0.20)

@@ -34,7 +34,13 @@ func NewSensor(numTiles int, bits uint, fullScale float64) *Sensor {
 
 // Record quantizes and stores a PSN sample (fraction of Vdd) for tile i.
 // Values outside [0, fullScale] are clamped, as a saturating ADC would.
+// Out-of-range tile indices are ignored, matching Read's "unpopulated
+// sensor" semantics: a write to a tile without a sensor is dropped rather
+// than panicking.
 func (s *Sensor) Record(i int, psn float64) {
+	if i < 0 || i >= len(s.readings) {
+		return
+	}
 	if psn < 0 {
 		psn = 0
 	}

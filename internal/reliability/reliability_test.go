@@ -1,0 +1,135 @@
+package reliability
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"parm/internal/appmodel"
+	"parm/internal/obs"
+)
+
+func TestWilson(t *testing.T) {
+	// Degenerate inputs.
+	if iv := Wilson(0, 0, z95); iv != (Interval{}) {
+		t.Errorf("Wilson(0,0) = %+v", iv)
+	}
+	// Known value: 8/10 at 95% is approximately [0.490, 0.943].
+	iv := Wilson(8, 10, z95)
+	if math.Abs(iv.P-0.8) > 1e-12 {
+		t.Errorf("p = %g", iv.P)
+	}
+	if math.Abs(iv.Lo-0.4902) > 5e-4 || math.Abs(iv.Hi-0.9433) > 5e-4 {
+		t.Errorf("interval [%g, %g], want ~[0.4902, 0.9433]", iv.Lo, iv.Hi)
+	}
+	// Bounds stay in [0,1] even at the extremes, where the normal
+	// approximation would escape.
+	for _, tc := range []struct{ s, n int }{{0, 5}, {5, 5}, {1, 1}, {0, 1}} {
+		iv := Wilson(tc.s, tc.n, z95)
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.P || iv.Hi < iv.P {
+			t.Errorf("Wilson(%d,%d) = %+v out of order", tc.s, tc.n, iv)
+		}
+	}
+	// More trials tighten the interval.
+	narrow := Wilson(80, 100, z95)
+	if narrow.Hi-narrow.Lo >= iv.Hi-iv.Lo {
+		t.Error("interval did not tighten with more trials")
+	}
+}
+
+func smallCampaign(workers int) Config {
+	return Config{
+		Schemes:    []string{"XY", "PANR"},
+		Trials:     2,
+		NumApps:    4,
+		ArrivalGap: 0.04,
+		Kind:       appmodel.WorkloadCompute,
+		Seed:       11,
+		Workers:    workers,
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	enc := func(workers int) []byte {
+		res, err := Run(smallCampaign(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := enc(1)
+	if rerun := enc(1); !bytes.Equal(rerun, base) {
+		t.Error("two serial campaigns diverged")
+	}
+	if par := enc(4); !bytes.Equal(par, base) {
+		t.Error("4-worker campaign diverged from the serial reference")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallCampaign(2)
+	cfg.Telemetry = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schemes) != 2 {
+		t.Fatalf("%d schemes", len(res.Schemes))
+	}
+	for _, s := range res.Schemes {
+		if s.Trials != 2 {
+			t.Errorf("%s trials = %d", s.Scheme, s.Trials)
+		}
+		if s.TotalApps != 2*4 {
+			t.Errorf("%s total apps = %d, want 8", s.Scheme, s.TotalApps)
+		}
+		if s.Retransmitted+s.Lost != s.Dropped {
+			t.Errorf("%s retransmitted %d + lost %d != dropped %d",
+				s.Scheme, s.Retransmitted, s.Lost, s.Dropped)
+		}
+		for _, iv := range []Interval{s.DeliveryRate, s.RecoveryRate, s.DeadlineMissRate} {
+			if iv.Lo < 0 || iv.Hi > 1 || iv.P < iv.Lo || iv.P > iv.Hi {
+				t.Errorf("%s interval %+v out of order", s.Scheme, iv)
+			}
+		}
+		if s.TotalRollbacks != s.TotalVEs {
+			t.Errorf("%s rollbacks %d != VEs %d", s.Scheme, s.TotalRollbacks, s.TotalVEs)
+		}
+	}
+	tbl := res.Table()
+	if len(tbl.Rows) != 2 {
+		t.Errorf("table has %d rows", len(tbl.Rows))
+	}
+	if got := reg.Counter("reliability/trials").Value(); got != 4 {
+		t.Errorf("reliability/trials = %d, want 4", got)
+	}
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	cfg := smallCampaign(1)
+	cfg.Schemes = []string{"NoSuchScheme"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestDefaultSchemes(t *testing.T) {
+	c := Config{}.withDefaults()
+	if len(c.Schemes) != 4 {
+		t.Fatalf("%d default schemes", len(c.Schemes))
+	}
+	want := []string{"XY", "WestFirst", "ICON", "PANR"}
+	for i, s := range want {
+		if c.Schemes[i] != s {
+			t.Errorf("scheme %d = %s, want %s", i, c.Schemes[i], s)
+		}
+	}
+	if c.Mapper != "PARM" || c.Trials != 20 || c.Seed != 1 {
+		t.Errorf("defaults: %+v", c)
+	}
+}

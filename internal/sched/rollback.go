@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file is the explicit half of the checkpoint/rollback scheme the
+// paper uses against residual voltage emergencies (§4.2, §4.5). The
+// closed-form RollbackPenalty in edf.go charges the *expected* lost time
+// per VE (restart overhead plus half a checkpoint interval); the Executor
+// below instead tracks a per-application committed-progress watermark and
+// charges the *actual* lost work of each injected emergency: execution
+// rolls back to the last completed checkpoint, pays the restart overhead,
+// and re-runs the lost span — re-paying its checkpoint overhead, since
+// executed time is checkpoint-inflated. The FaultPlan supplies the
+// emergencies: a seeded stochastic draw per over-threshold PSN sample, so a
+// run is a single trajectory of a reproducible random process rather than a
+// deterministic worst case.
+
+// FaultPlan draws voltage-emergency occurrences for one simulation run. The
+// engine consults it at every periodic PSN sample for every application
+// whose domain peak exceeds the threshold; the number of emergencies is
+// Poisson-distributed with the legacy closed form's mean (1 + 8·exceedance).
+// Draws are a deterministic function of the seed and the call sequence, and
+// the engine calls in sorted application order, so runs replay bit-identically
+// for a fixed seed regardless of PSN worker count.
+type FaultPlan struct {
+	rng *rand.Rand
+}
+
+// NewFaultPlan returns a fault plan seeded with seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// faultDrawCap bounds one sample's VE count: a single sampling interval has
+// finitely many switching events that can cross the margin.
+const faultDrawCap = 32
+
+// Draw returns the number of voltage emergencies injected for one
+// application at one sample whose domain peak exceeds the VE threshold by
+// the given fraction (exceedance = peak/threshold - 1). Non-positive
+// exceedance draws nothing and consumes no randomness. A zero draw at
+// positive exceedance is meaningful: the noise crossed the margin but no
+// in-flight computation was corrupted — the "residual VE" case the paper's
+// rollback scheme exists for.
+func (p *FaultPlan) Draw(exceedance float64) int {
+	if exceedance <= 0 {
+		return 0
+	}
+	lambda := 1 + 8*exceedance
+	if lambda > 16 {
+		lambda = 16
+	}
+	// Knuth's product method; lambda is small so the loop is short.
+	limit := math.Exp(-lambda)
+	k := 0
+	prod := p.rng.Float64()
+	for prod > limit && k < faultDrawCap {
+		k++
+		prod *= p.rng.Float64()
+	}
+	return k
+}
+
+// Executor tracks the checkpointed execution of one mapped application.
+// Progress is measured in inflated execution seconds (the makespan from
+// SPMDMakespan, which already carries the periodic checkpoint overhead);
+// checkpoints complete every period of progress and advance the committed
+// watermark. A voltage emergency discards everything past the watermark.
+type Executor struct {
+	period  float64 // checkpoint interval in inflated execution seconds
+	restart float64 // per-rollback restart overhead in seconds
+	total   float64 // inflated execution seconds to complete
+
+	committed    float64 // progress at the last completed checkpoint
+	attemptStart float64 // sim time the current attempt (re)started
+
+	checkpoints int     // checkpoints committed so far
+	rollbacks   int     // emergencies absorbed
+	lostWorkS   float64 // progress discarded and re-executed
+	restartS    float64 // restart overhead paid
+}
+
+// NewExecutor returns the execution state of an application mapped at sim
+// time now whose checkpoint-inflated makespan is makespan seconds at clock
+// frequency freq. A non-positive frequency or makespan yields a degenerate
+// executor that completes immediately and absorbs VEs for free.
+func NewExecutor(freq, makespan, now float64) *Executor {
+	x := &Executor{total: makespan, attemptStart: now}
+	if makespan < 0 {
+		x.total = 0
+	}
+	if freq > 0 {
+		x.period = CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+		x.restart = RollbackCycles / freq
+	}
+	return x
+}
+
+// CompletionTime returns the projected completion time if no further
+// emergency strikes: the current attempt runs the remaining work straight
+// through.
+func (x *Executor) CompletionTime() float64 {
+	return x.attemptStart + x.total - x.committed
+}
+
+// InjectVEs absorbs n voltage emergencies striking at sim time now and
+// returns the new projected completion time. The first emergency rolls
+// execution back to the last completed checkpoint, losing the work since;
+// the remaining n-1 strike during the restart, before any new progress, so
+// each costs only the restart overhead. Emergencies after the projected
+// completion (a stale sample racing the completion event) are absorbed at
+// full progress and cost only restarts.
+func (x *Executor) InjectVEs(now float64, n int) float64 {
+	if n <= 0 {
+		return x.CompletionTime()
+	}
+	progress := x.committed + (now - x.attemptStart)
+	if progress > x.total {
+		progress = x.total
+	}
+	if progress < x.committed {
+		progress = x.committed
+	}
+	watermark := x.committed
+	if x.period > 0 {
+		watermark = math.Floor(progress/x.period+1e-9) * x.period
+		if watermark < x.committed {
+			watermark = x.committed
+		}
+		if watermark > x.committed {
+			x.checkpoints += int(math.Round((watermark - x.committed) / x.period))
+		}
+	} else {
+		// No checkpointing possible: every emergency restarts from the last
+		// committed point with nothing new committed.
+		watermark = x.committed
+	}
+	lost := progress - watermark
+	x.lostWorkS += lost
+	x.restartS += float64(n) * x.restart
+	x.rollbacks += n
+	x.committed = watermark
+	x.attemptStart = now + float64(n)*x.restart
+	return x.CompletionTime()
+}
+
+// Rollbacks returns the number of emergencies absorbed so far.
+func (x *Executor) Rollbacks() int { return x.rollbacks }
+
+// Checkpoints returns the checkpoints committed so far plus those the final
+// attempt takes if it runs to completion undisturbed.
+func (x *Executor) Checkpoints() int {
+	if x.period <= 0 {
+		return x.checkpoints
+	}
+	return x.checkpoints + int(math.Floor((x.total-x.committed)/x.period+1e-9))
+}
+
+// LostWorkS returns the execution seconds discarded by rollbacks (work that
+// was re-run, checkpoint overhead included).
+func (x *Executor) LostWorkS() float64 { return x.lostWorkS }
+
+// RestartS returns the restart overhead paid across all rollbacks.
+func (x *Executor) RestartS() float64 { return x.restartS }
+
+// DelayS returns the total completion-time delay the emergencies caused:
+// discarded work plus restart overhead.
+func (x *Executor) DelayS() float64 { return x.lostWorkS + x.restartS }

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	a, b := NewFaultPlan(7), NewFaultPlan(7)
+	for i := 0; i < 200; i++ {
+		e := float64(i%5) * 0.1
+		if na, nb := a.Draw(e), b.Draw(e); na != nb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, na, nb)
+		}
+	}
+}
+
+func TestFaultPlanZeroExceedance(t *testing.T) {
+	p := NewFaultPlan(1)
+	if n := p.Draw(0); n != 0 {
+		t.Errorf("Draw(0) = %d", n)
+	}
+	if n := p.Draw(-0.5); n != 0 {
+		t.Errorf("Draw(-0.5) = %d", n)
+	}
+	// Zero-exceedance draws consume no randomness: the stream continues as
+	// if they never happened.
+	q := NewFaultPlan(1)
+	p.Draw(0)
+	if a, b := p.Draw(0.3), q.Draw(0.3); a != b {
+		t.Errorf("zero draw consumed randomness: %d vs %d", a, b)
+	}
+}
+
+func TestFaultPlanMeanTracksExceedance(t *testing.T) {
+	p := NewFaultPlan(99)
+	const trials = 20000
+	mean := func(e float64) float64 {
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += p.Draw(e)
+		}
+		return float64(sum) / trials
+	}
+	lo, hi := mean(0.1), mean(1.0)
+	// Poisson means 1.8 and 9; allow generous sampling slack.
+	if math.Abs(lo-1.8) > 0.15 {
+		t.Errorf("mean at exceedance 0.1 = %g, want ~1.8", lo)
+	}
+	if math.Abs(hi-9) > 0.4 {
+		t.Errorf("mean at exceedance 1.0 = %g, want ~9", hi)
+	}
+}
+
+func TestFaultPlanDrawBounded(t *testing.T) {
+	p := NewFaultPlan(3)
+	for i := 0; i < 1000; i++ {
+		if n := p.Draw(100); n < 0 || n > faultDrawCap {
+			t.Fatalf("draw %d out of bounds", n)
+		}
+	}
+}
+
+func TestExecutorStraightThrough(t *testing.T) {
+	// No emergencies: completion is start + makespan and every checkpoint
+	// in the span is taken.
+	const freq, makespan = 1e9, 10.5e-3
+	x := NewExecutor(freq, makespan, 2.0)
+	if got := x.CompletionTime(); math.Abs(got-2.0-makespan) > 1e-12 {
+		t.Errorf("completion = %g, want %g", got, 2.0+makespan)
+	}
+	period := CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+	want := int(makespan / period)
+	if got := x.Checkpoints(); got != want {
+		t.Errorf("checkpoints = %d, want %d", got, want)
+	}
+	if x.Rollbacks() != 0 || x.DelayS() != 0 {
+		t.Errorf("clean run has rollbacks=%d delay=%g", x.Rollbacks(), x.DelayS())
+	}
+}
+
+func TestExecutorRollbackAccounting(t *testing.T) {
+	const freq = 1e9
+	period := CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+	restart := RollbackCycles / freq
+	makespan := 10 * period
+	x := NewExecutor(freq, makespan, 0)
+
+	// One VE at 2.5 checkpoint periods of progress: the watermark is 2
+	// periods, half a period of work is lost, one restart is paid.
+	now := 2.5 * period
+	got := x.InjectVEs(now, 1)
+	want := now + restart + (makespan - 2*period)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("completion after VE = %g, want %g", got, want)
+	}
+	if x.Rollbacks() != 1 {
+		t.Errorf("rollbacks = %d", x.Rollbacks())
+	}
+	if math.Abs(x.LostWorkS()-0.5*period) > 1e-12 {
+		t.Errorf("lost work = %g, want %g", x.LostWorkS(), 0.5*period)
+	}
+	if math.Abs(x.RestartS()-restart) > 1e-12 {
+		t.Errorf("restart overhead = %g, want %g", x.RestartS(), restart)
+	}
+	if math.Abs(x.DelayS()-(0.5*period+restart)) > 1e-12 {
+		t.Errorf("delay = %g", x.DelayS())
+	}
+}
+
+func TestExecutorBatchedVEs(t *testing.T) {
+	// n emergencies in one batch: the lost work is paid once, the restart
+	// overhead n times.
+	const freq = 1e9
+	period := CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+	restart := RollbackCycles / freq
+	makespan := 10 * period
+	x := NewExecutor(freq, makespan, 0)
+	now := 1.25 * period
+	got := x.InjectVEs(now, 3)
+	want := now + 3*restart + (makespan - period)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("completion = %g, want %g", got, want)
+	}
+	if x.Rollbacks() != 3 {
+		t.Errorf("rollbacks = %d", x.Rollbacks())
+	}
+	if math.Abs(x.RestartS()-3*restart) > 1e-12 {
+		t.Errorf("restart overhead = %g", x.RestartS())
+	}
+}
+
+func TestExecutorNeverRollsBackPastCommit(t *testing.T) {
+	const freq = 1e9
+	period := CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+	makespan := 10 * period
+	x := NewExecutor(freq, makespan, 0)
+	// First VE commits the watermark at 3 periods.
+	x.InjectVEs(3.5*period, 1)
+	c1 := x.CompletionTime()
+	// A second VE immediately after the restart has no new progress: no
+	// extra work is lost, the completion slips by exactly one restart.
+	c2 := x.InjectVEs(x.attemptStart, 1)
+	if math.Abs(c2-c1-RollbackCycles/freq) > 1e-12 {
+		t.Errorf("idle-point VE cost %g, want one restart %g", c2-c1, RollbackCycles/freq)
+	}
+	if x.committed < 3*period-1e-12 {
+		t.Errorf("watermark regressed to %g", x.committed)
+	}
+}
+
+func TestExecutorVEAfterProjectedCompletion(t *testing.T) {
+	// A stale sample striking after the projected completion caps progress
+	// at total: the final span past the last checkpoint is re-run.
+	const freq = 1e9
+	period := CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+	restart := RollbackCycles / freq
+	makespan := 2.5 * period
+	x := NewExecutor(freq, makespan, 0)
+	got := x.InjectVEs(10*period, 1)
+	want := 10*period + restart + 0.5*period
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("completion = %g, want %g", got, want)
+	}
+}
+
+func TestExecutorDegenerate(t *testing.T) {
+	x := NewExecutor(0, 0.01, 5)
+	// No frequency: no checkpoints, no restart cost; VEs re-run from the
+	// start watermark but cost nothing extra in restart overhead.
+	if x.Checkpoints() != 0 {
+		t.Errorf("checkpoints = %d", x.Checkpoints())
+	}
+	ct := x.InjectVEs(5.005, 2)
+	if math.IsNaN(ct) || math.IsInf(ct, 0) {
+		t.Errorf("completion = %g", ct)
+	}
+	y := NewExecutor(1e9, -1, 0)
+	if y.CompletionTime() != 0 {
+		t.Errorf("negative makespan completion = %g", y.CompletionTime())
+	}
+}
+
+// The closed-form penalty is the expectation of the explicit model: over a
+// uniform distribution of VE arrival phase within a checkpoint interval,
+// the mean lost work is half an interval and each VE pays one restart.
+func TestExecutorMatchesClosedFormInExpectation(t *testing.T) {
+	const freq = 1e9
+	period := CheckpointPeriod * (1 + CheckpointOverheadFrac(freq))
+	makespan := 100 * period
+	const n = 1000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := NewExecutor(freq, makespan, 0)
+		phase := (float64(i) + 0.5) / n // uniform in (0,1)
+		x.InjectVEs((3+phase)*period, 1)
+		sum += x.DelayS()
+	}
+	mean := sum / n
+	// RollbackPenalty uses the *uninflated* half interval; the explicit
+	// model loses inflated time, so allow the overhead-fraction gap.
+	closed := RollbackPenalty(freq)
+	if math.Abs(mean-closed) > closed*0.01 {
+		t.Errorf("mean explicit delay %g vs closed form %g", mean, closed)
+	}
+}
