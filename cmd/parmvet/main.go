@@ -1,17 +1,20 @@
-// Command parmvet is the project's static-analysis suite: eight analyzers
+// Command parmvet is the project's static-analysis suite: eleven analyzers
 // that mechanically enforce the invariants the PARM measurement pipeline's
-// bit-identical-metrics guarantee rests on (see DESIGN.md §7).
+// bit-identical-metrics guarantee rests on (see DESIGN.md §7), including
+// the whole-program determinism-taint pair detflow/maporder (§7.4).
 //
 // Usage:
 //
-//	go run ./cmd/parmvet [-json] [-run analyzer,...] [packages]
+//	go run ./cmd/parmvet [-json] [-tests] [-run analyzer,...] [packages]
 //
-// It prints one finding per line in file:line:col form (or, with -json, one
-// JSON object per line) and exits nonzero when any analyzer fires. -run
-// restricts the suite to a comma-separated subset of analyzers.
+// It prints findings sorted by (file, line, column, analyzer), one per line
+// in file:line:col form (or, with -json, one JSON object per line), and
+// exits nonzero when any analyzer fires. -run restricts the suite to a
+// comma-separated subset of analyzers; -tests extends the analysis to
+// _test.go files (off by default, on in CI).
 // Suppressions are //parm:orderfree, //parm:floateq, //parm:unitless,
-// //parm:pool, //parm:alloc, //parm:hold, //parm:errok, and
-// //parm:wallclock comments on or directly above the flagged line.
+// //parm:pool, //parm:alloc, //parm:hold, //parm:errok, //parm:wallclock,
+// and //parm:det comments on or directly above the flagged line.
 package main
 
 import (
@@ -38,8 +41,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "print findings as one JSON object per line")
 	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	withTests := fs.Bool("tests", false, "also analyze _test.go files")
 	fs.Usage = func() {
-		fprintf(stderr, "usage: parmvet [-json] [-run analyzer,...] [packages]\n\n")
+		fprintf(stderr, "usage: parmvet [-json] [-tests] [-run analyzer,...] [packages]\n\n")
 		fprintf(stderr, "Analyzers:\n")
 		for _, r := range parmvet.Rules() {
 			fprintf(stderr, "  %-10s %s\n", r.Analyzer.Name, r.Analyzer.Doc)
@@ -58,11 +62,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := driver.Run(patterns, rules)
+	findings, err := driver.RunDirOpts("", patterns, rules, driver.Options{Tests: *withTests})
 	if err != nil {
 		fprintf(stderr, "parmvet: %v\n", err)
 		return 2
 	}
+	// The driver returns findings sorted, but re-assert the emission
+	// contract here: both outputs promise (file, line, column, analyzer).
+	driver.Sort(findings)
 	if err := writeFindings(stdout, findings, *jsonOut); err != nil {
 		fprintf(stderr, "parmvet: %v\n", err)
 		return 2

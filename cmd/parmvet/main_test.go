@@ -130,11 +130,11 @@ func TestRunRejectsUnknownAnalyzer(t *testing.T) {
 	}
 }
 
-func TestSuiteHasNineAnalyzers(t *testing.T) {
+func TestSuiteHasElevenAnalyzers(t *testing.T) {
 	want := map[string]bool{
 		"detrange": true, "poolgo": true, "unitsafe": true, "floateq": true,
 		"hotalloc": true, "lockhold": true, "errsink": true, "simclock": true,
-		"obsreg": true,
+		"obsreg": true, "detflow": true, "maporder": true,
 	}
 	rules := parmvet.Rules()
 	if len(rules) != len(want) {

@@ -1,0 +1,105 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/callgraph"
+)
+
+// buildFixture loads the two-package fixture module and builds its graph.
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	fset, pkgs := analysistest.LoadPackages(t, "testdata/src")
+	return callgraph.Build(fset, pkgs)
+}
+
+// hasEdge reports whether the graph holds an edge caller -> callee of the
+// given kind, matching node names exactly.
+func hasEdge(g *callgraph.Graph, caller, callee string, kind callgraph.EdgeKind) bool {
+	for _, n := range g.Nodes {
+		if n.Name() != caller {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee.Name() == callee && e.Kind == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func edgeDump(g *callgraph.Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			b.WriteString(n.Name() + " -[" + e.Kind.String() + "]-> " + e.Callee.Name() + "\n")
+		}
+	}
+	return b.String()
+}
+
+func TestRecursionEdge(t *testing.T) {
+	g := buildFixture(t)
+	if !hasEdge(g, "example/app.Fact", "example/app.Fact", callgraph.Static) {
+		t.Errorf("missing recursive static edge Fact -> Fact\n%s", edgeDump(g))
+	}
+}
+
+func TestCrossPackageStaticEdge(t *testing.T) {
+	g := buildFixture(t)
+	if !hasEdge(g, "example/app.Use", "example/shapes.NewCircle", callgraph.Static) {
+		t.Errorf("missing cross-package static edge Use -> NewCircle\n%s", edgeDump(g))
+	}
+}
+
+func TestInterfaceDispatchReachesEveryImplementer(t *testing.T) {
+	g := buildFixture(t)
+	for _, impl := range []string{
+		"(example/shapes.Circle).Area",
+		"(*example/shapes.Square).Area",
+	} {
+		if !hasEdge(g, "example/app.Total", impl, callgraph.Interface) {
+			t.Errorf("interface dispatch missing candidate %s\n%s", impl, edgeDump(g))
+		}
+	}
+}
+
+func TestMethodValueRefEdge(t *testing.T) {
+	g := buildFixture(t)
+	if !hasEdge(g, "example/app.Use", "(example/shapes.Circle).Area", callgraph.Ref) {
+		t.Errorf("missing method-value ref edge Use -> Circle.Area\n%s", edgeDump(g))
+	}
+}
+
+func TestGoroutineLiteralNode(t *testing.T) {
+	g := buildFixture(t)
+	// Use spawns one literal; the literal calls Fact.
+	var lit string
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.Name(), "example/app.Use$lit") {
+			lit = n.Name()
+		}
+	}
+	if lit == "" {
+		t.Fatalf("no literal node under Use\n%s", edgeDump(g))
+	}
+	if !hasEdge(g, "example/app.Use", lit, callgraph.Lit) {
+		t.Errorf("missing lit edge Use -> %s\n%s", lit, edgeDump(g))
+	}
+	if !hasEdge(g, lit, "example/app.Fact", callgraph.Static) {
+		t.Errorf("missing static edge %s -> Fact\n%s", lit, edgeDump(g))
+	}
+}
+
+// TestDeterministicNodeOrder rebuilds the graph and requires identical node
+// and edge enumeration — parmvet's own output must be deterministic.
+func TestDeterministicNodeOrder(t *testing.T) {
+	a := edgeDump(buildFixture(t))
+	b := edgeDump(buildFixture(t))
+	if a != b {
+		t.Errorf("nondeterministic graph enumeration:\n--- first\n%s--- second\n%s", a, b)
+	}
+}

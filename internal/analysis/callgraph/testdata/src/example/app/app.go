@@ -1,0 +1,32 @@
+// Package app is a callgraph fixture exercising recursion, cross-package
+// static calls, interface dispatch, method values, and function literals.
+package app
+
+import "example/shapes"
+
+// Fact recurses: the graph must carry a Fact -> Fact static edge.
+func Fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * Fact(n-1)
+}
+
+// Total dispatches through the Shape interface: edges to every implementer.
+func Total(ss []shapes.Shape) float64 {
+	t := 0.0
+	for _, s := range ss {
+		t += s.Area()
+	}
+	return t
+}
+
+// Use takes a method value and spawns a goroutine literal.
+func Use() float64 {
+	c := shapes.NewCircle(2)
+	f := c.Area
+	go func() {
+		_ = Fact(3)
+	}()
+	return f()
+}

@@ -1,0 +1,22 @@
+// Package shapes is a callgraph fixture: one interface with two
+// implementers, one with a value and one with a pointer receiver, so
+// dispatch resolution has to consult both method sets.
+package shapes
+
+// Shape is the dispatch interface under test.
+type Shape interface{ Area() float64 }
+
+// Circle implements Shape with a value receiver.
+type Circle struct{ R float64 }
+
+// Area returns an area-ish number.
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+// Square implements Shape with a pointer receiver.
+type Square struct{ S float64 }
+
+// Area returns the square's area.
+func (s *Square) Area() float64 { return s.S * s.S }
+
+// NewCircle is the cross-package static-call target.
+func NewCircle(r float64) Circle { return Circle{R: r} }

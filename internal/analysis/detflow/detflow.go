@@ -1,0 +1,53 @@
+// Package detflow is the whole-program determinism lint: it builds the
+// cross-package call graph, runs the interprocedural taint engine over it,
+// and reports every flow from a nondeterminism source (map or sync.Map
+// iteration order, channel arrival order, select choice, unseeded global
+// math/rand, %p pointer formatting) into a determinism sink (JSON encoding,
+// report-table rows, timeline records, stores into core.Metrics or
+// core.AppOutcome) — including flows through function calls, interface
+// dispatch, closures, and struct fields.
+//
+// Diagnostics anchor at the sink, where the nondeterminism becomes
+// observable, and name the source and the call chain between them. An
+// audited //parm:det on either the source or the sink line suppresses the
+// flow.
+package detflow
+
+import (
+	"go/token"
+	"path/filepath"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/callgraph"
+	"parm/internal/analysis/taint"
+)
+
+// Analyzer reports nondeterminism flowing into determinism sinks.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "reports interprocedural flows from nondeterminism sources (map order, " +
+		"chan/select order, global rand, %p) into determinism sinks (json, " +
+		"report tables, timeline, core.Metrics); suppress with //parm:det",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	calls, fields := taint.ParmSinks()
+	flows := taint.Run(g, taint.Spec{
+		SinkCalls:  calls,
+		SinkFields: fields,
+		Suppress:   func(pos token.Pos) bool { return pass.Suppressed(pos, "det") },
+	})
+	for _, f := range flows {
+		if !pass.Analyzable(f.Sink.Pos) || pass.Suppressed(f.Sink.Pos, "det") {
+			continue
+		}
+		src := pass.Fset.Position(f.Source.Pos)
+		pass.Reportf(f.Sink.Pos,
+			"nondeterministic %s (%s, %s:%d) flows into %s via %s; sort or seed before the sink, or annotate //parm:det",
+			f.Source.Kind, f.Source.Desc, filepath.Base(src.Filename), src.Line,
+			f.Sink.Desc, f.PathString())
+	}
+	return nil
+}

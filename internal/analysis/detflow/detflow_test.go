@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.RunProgram(t, "testdata/src", detflow.Analyzer)
+}

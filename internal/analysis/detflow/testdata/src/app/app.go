@@ -1,0 +1,113 @@
+// Package app seeds every detflow source kind against the production sink
+// tables, alongside the sanitized forms that must stay silent.
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"parm/internal/core"
+)
+
+// Collect is the seeded regression: an unsorted map walk feeding
+// core.Metrics. A byte-identity test replaying one run cannot observe the
+// order dependence; detflow must.
+func Collect(power map[string]float64) core.Metrics {
+	var m core.Metrics
+	for name, p := range power {
+		m.Apps = append(m.Apps, core.AppOutcome{Name: name, IPC: p}) // want `nondeterministic map-order .* store to core.Metrics.Apps`
+	}
+	return m
+}
+
+// keys leaks map order through its return value.
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Dump reaches the json sink through the keys call: the flow is
+// interprocedural and must carry the call chain.
+func Dump(m map[string]int) ([]byte, error) {
+	return json.Marshal(keys(m)) // want `nondeterministic map-order .* json encoding`
+}
+
+// DumpSorted sorts between the map walk and the sink: clean.
+func DumpSorted(m map[string]int) ([]byte, error) {
+	ks := keys(m)
+	sort.Strings(ks)
+	return json.Marshal(ks)
+}
+
+// Audited carries the //parm:det escape hatch on the source: clean.
+func Audited(m map[string]int) ([]byte, error) {
+	var ks []string
+	for k := range m { //parm:det
+		ks = append(ks, k)
+	}
+	return json.Marshal(ks)
+}
+
+// Annotate draws from the unseeded global generator straight into Metrics.
+func Annotate(m *core.Metrics) {
+	m.Energy = rand.Float64() // want `nondeterministic global-rand .* store to core.Metrics.Energy`
+}
+
+// Gather accumulates channel receives in arrival order into a string field.
+func Gather(ch chan string, m *core.Metrics) {
+	for i := 0; i < 3; i++ {
+		m.Trace += <-ch // want `nondeterministic chan-order .* store to core.Metrics.Trace`
+	}
+}
+
+type result struct {
+	idx int
+	val float64
+}
+
+// PoolSorted collects from a worker pool with content-keyed stores — the
+// deterministic idiom — so nothing flows.
+func PoolSorted(ch chan result, m *core.Metrics) {
+	vals := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		r := <-ch
+		vals[r.idx] = r.val
+	}
+	m.Apps = append(m.Apps, core.AppOutcome{Name: "pool", IPC: vals[0]})
+}
+
+// race returns whichever channel wins the select.
+func race(a, b chan string) string {
+	var got string
+	select {
+	case got = <-a:
+	case got = <-b:
+	}
+	return got
+}
+
+// DumpRace encodes a select-order-dependent value.
+func DumpRace(a, b chan string) ([]byte, error) {
+	return json.Marshal(race(a, b)) // want `nondeterministic select-order .* json encoding`
+}
+
+// Label renders a pointer address into the trace.
+func Label(m *core.Metrics, p *core.AppOutcome) {
+	m.Trace = fmt.Sprintf("%p", p) // want `nondeterministic pointer-format .* store to core.Metrics.Trace`
+}
+
+// SyncWalk iterates a sync.Map inside the encode path.
+func SyncWalk(sm *sync.Map) ([]byte, error) {
+	var ks []string
+	sm.Range(func(k, v any) bool {
+		ks = append(ks, k.(string))
+		return true
+	})
+	return json.Marshal(ks) // want `nondeterministic sync-map-order .* json encoding`
+}

@@ -1,0 +1,17 @@
+// Package core mirrors the production metrics structs so the fixture
+// exercises the exact sink-table entries detflow ships with
+// ("parm/internal/core.Metrics", "parm/internal/core.AppOutcome").
+package core
+
+// AppOutcome is one application's result record.
+type AppOutcome struct {
+	Name string
+	IPC  float64
+}
+
+// Metrics is the determinism-sensitive result document.
+type Metrics struct {
+	Energy float64
+	Trace  string
+	Apps   []AppOutcome
+}

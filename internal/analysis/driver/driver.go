@@ -26,10 +26,21 @@ import (
 
 // listedPackage is the slice of `go list -json` output the loader consumes.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Imports    []string
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+}
+
+// Options configures a load or run.
+type Options struct {
+	// Tests includes each package's _test.go files: in-package test files
+	// join their package (type-checked as an augmented variant so importers
+	// still see the pure package and test-only import cycles cannot form),
+	// and external test packages load as "<path>_test".
+	Tests bool
 }
 
 // Package is one loaded, type-checked module package.
@@ -72,6 +83,11 @@ func Load(fset *token.FileSet, patterns []string) ([]*Package, error) {
 // process working directory when dir is empty). Tests point it at throwaway
 // modules.
 func LoadDir(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	return LoadDirOpts(fset, dir, patterns, Options{})
+}
+
+// LoadDirOpts is LoadDir with explicit options.
+func LoadDirOpts(fset *token.FileSet, dir string, patterns []string, opts Options) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -125,6 +141,36 @@ func LoadDir(fset *token.FileSet, dir string, patterns []string) ([]*Package, er
 			return nil, err
 		}
 		out = append(out, pkg)
+	}
+	if !opts.Tests {
+		return out, nil
+	}
+
+	// Second phase: augment packages with their test files. The base
+	// packages above stay the import-resolution truth, so a test-only
+	// dependency back onto an importer cannot cycle; the augmented variant
+	// (and any external "<path>_test" package, checked against the augmented
+	// types so export_test.go bridges resolve) replaces or follows the base
+	// in the analysis list only.
+	for i, path := range order {
+		lp := byPath[path]
+		base := out[i]
+		aug := base
+		if len(lp.TestGoFiles) > 0 {
+			aug, err = imp.checkVariant(path, lp.Dir, base, lp.TestGoFiles, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = aug
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			xt, err := imp.checkVariant(path+"_test", lp.Dir, nil, lp.XTestGoFiles,
+				map[string]*types.Package{path: aug.Types})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xt)
+		}
 	}
 	return out, nil
 }
@@ -204,6 +250,69 @@ func (m *moduleImporter) check(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// checkVariant type-checks a package variant: the base package's already
+// parsed files (when base is non-nil) plus the named extra files from dir,
+// under fresh type information, without touching the import-resolution
+// state. overrides substitute specific import paths — an external test
+// package imports its subject's augmented types so export_test.go bridges
+// resolve.
+func (m *moduleImporter) checkVariant(pkgPath, dir string, base *Package, names []string, overrides map[string]*types.Package) (*Package, error) {
+	var files, analyzable []*ast.File
+	if base != nil {
+		files = append(files, base.Files...)
+		analyzable = append(analyzable, base.Analyzable...)
+	}
+	for _, name := range names {
+		fullPath := filepath.Join(dir, name)
+		src, err := os.ReadFile(fullPath)
+		if err != nil {
+			return nil, fmt.Errorf("driver: reading %s: %w", fullPath, err)
+		}
+		if hasIgnoreConstraint(src) {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, fullPath, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		if !ast.IsGenerated(f) {
+			analyzable = append(analyzable, f)
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	imp := types.Importer(m)
+	if len(overrides) > 0 {
+		imp = overrideImporter{m: m, overrides: overrides}
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Files: files, Types: tpkg, Info: info, Analyzable: analyzable}, nil
+}
+
+// overrideImporter is a moduleImporter with a few import paths pinned to
+// specific (variant) packages.
+type overrideImporter struct {
+	m         *moduleImporter
+	overrides map[string]*types.Package
+}
+
+func (o overrideImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.overrides[path]; ok {
+		return p, nil
+	}
+	return o.m.Import(path)
+}
+
 // hasIgnoreConstraint reports whether the file header carries a build
 // constraint that keeps it out of every ordinary build — the
 // `//go:build ignore` idiom (or its legacy `// +build ignore` spelling).
@@ -237,19 +346,32 @@ func hasIgnoreConstraint(src []byte) bool {
 // Run loads the packages named by patterns and applies every matching rule,
 // returning all findings sorted by position.
 func Run(patterns []string, rules []Rule) ([]Finding, error) {
-	return RunDir("", patterns, rules)
+	return RunDirOpts("", patterns, rules, Options{})
 }
 
 // RunDir is Run with the package patterns resolved relative to dir.
 func RunDir(dir string, patterns []string, rules []Rule) ([]Finding, error) {
+	return RunDirOpts(dir, patterns, rules, Options{})
+}
+
+// RunDirOpts is RunDir with explicit options. Per-package analyzers run on
+// each package their rule matches; whole-program analyzers run once over
+// every loaded package, with the rule's Match filtering findings by the
+// package the diagnostic lands in.
+func RunDirOpts(dir string, patterns []string, rules []Rule, opts Options) ([]Finding, error) {
 	fset := token.NewFileSet()
-	pkgs, err := LoadDir(fset, dir, patterns)
+	pkgs, err := LoadDirOpts(fset, dir, patterns, opts)
 	if err != nil {
 		return nil, err
 	}
 	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, rule := range rules {
+	var progRules []Rule
+	for _, rule := range rules {
+		if rule.Analyzer.RunProgram != nil {
+			progRules = append(progRules, rule)
+			continue
+		}
+		for _, pkg := range pkgs {
 			if rule.Match != nil && !rule.Match(pkg.Path) {
 				continue
 			}
@@ -273,6 +395,47 @@ func RunDir(dir string, patterns []string, rules []Rule) ([]Finding, error) {
 			}
 		}
 	}
+	if len(progRules) > 0 {
+		pps := make([]*analysis.ProgramPackage, len(pkgs))
+		fileOf := make(map[string]string) // filename -> import path
+		for i, pkg := range pkgs {
+			pps[i] = &analysis.ProgramPackage{
+				Path:       pkg.Path,
+				Files:      pkg.Files,
+				Analyzable: pkg.Analyzable,
+				Types:      pkg.Types,
+				Info:       pkg.Info,
+			}
+			for _, f := range pkg.Files {
+				fileOf[fset.Position(f.Pos()).Filename] = pkg.Path
+			}
+		}
+		for _, rule := range progRules {
+			a := rule.Analyzer
+			pass := &analysis.ProgramPass{
+				Analyzer: a,
+				Fset:     fset,
+				Packages: pps,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if rule.Match != nil && !rule.Match(fileOf[pos.Filename]) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s: %w", a.Name, err)
+			}
+		}
+	}
+	Sort(findings)
+	return findings, nil
+}
+
+// Sort orders findings by (file, line, column, analyzer) — the emission
+// order both the text and JSON outputs promise.
+func Sort(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -286,7 +449,6 @@ func RunDir(dir string, patterns []string, rules []Rule) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // goList shells out to `go list -json` for package metadata; the go

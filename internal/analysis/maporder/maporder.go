@@ -1,0 +1,58 @@
+// Package maporder is the source-side companion to detflow: it restricts
+// the interprocedural taint engine to iteration-order sources (map range
+// and sync.Map.Range) and anchors one diagnostic at each iteration whose
+// element order can reach a determinism sink without an intervening sort.
+//
+// Where detflow points at the sink ("this output is nondeterministic"),
+// maporder points at the loop to rewrite ("iterate sorted keys here").
+// An audited //parm:det on the range line — or on the sink it feeds —
+// suppresses the finding.
+package maporder
+
+import (
+	"go/token"
+	"path/filepath"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/callgraph"
+	"parm/internal/analysis/taint"
+)
+
+// Analyzer flags map iterations whose order reaches a sink unsorted.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map and sync.Map iterations whose element order reaches a " +
+		"determinism sink without an intervening sort; suppress with //parm:det",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	calls, fields := taint.ParmSinks()
+	flows := taint.Run(g, taint.Spec{
+		SinkCalls:  calls,
+		SinkFields: fields,
+		Kinds: map[taint.Kind]bool{
+			taint.KindMapRange:     true,
+			taint.KindSyncMapRange: true,
+		},
+		Suppress: func(pos token.Pos) bool { return pass.Suppressed(pos, "det") },
+	})
+	// One report per iteration site, at its first (position-ordered) sink.
+	seen := make(map[token.Pos]bool)
+	for _, f := range flows {
+		if seen[f.Source.Pos] || !pass.Analyzable(f.Source.Pos) {
+			continue
+		}
+		if pass.Suppressed(f.Sink.Pos, "det") {
+			continue
+		}
+		seen[f.Source.Pos] = true
+		sink := pass.Fset.Position(f.Sink.Pos)
+		pass.Reportf(f.Source.Pos,
+			"%s reaches %s (%s:%d) without an intervening sort via %s; iterate sorted keys or annotate //parm:det",
+			f.Source.Desc, f.Sink.Desc, filepath.Base(sink.Filename), sink.Line,
+			f.PathString())
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.RunProgram(t, "testdata/src", maporder.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package app exercises maporder: the diagnostic anchors at the map
+// iteration, not at the sink it feeds.
+package app
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+
+	"parm/internal/core"
+)
+
+// Dump leaks map order into the json encoder; the loop is the finding.
+func Dump(power map[string]float64) ([]byte, error) {
+	var names []string
+	for n := range power { // want `map iteration order .* reaches json encoding`
+		names = append(names, n)
+	}
+	return json.Marshal(names)
+}
+
+// DumpSorted sorts between the walk and the sink: clean.
+func DumpSorted(power map[string]float64) ([]byte, error) {
+	var names []string
+	for n := range power {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return json.Marshal(names)
+}
+
+// Fill stores per-iteration into Metrics through a helper call.
+func add(m *core.Metrics, name string, p float64) {
+	m.Apps = append(m.Apps, core.AppOutcome{Name: name, IPC: p})
+}
+
+func Fill(power map[string]float64, m *core.Metrics) {
+	for name, p := range power { // want `map iteration order .* reaches store to core.Metrics.Apps`
+		add(m, name, p)
+	}
+}
+
+// Audited carries the //parm:det escape hatch: clean.
+func Audited(power map[string]float64) ([]byte, error) {
+	var names []string
+	for n := range power { //parm:det
+		names = append(names, n)
+	}
+	return json.Marshal(names)
+}
+
+// Seeded draws global rand into the encoder — out of maporder's scope
+// (detflow's business), so it must stay silent here.
+func Seeded() ([]byte, error) {
+	return json.Marshal(rand.Float64())
+}

@@ -14,7 +14,14 @@
 //     layers, where wall-clock or global-rand reads break replayability;
 //   - obsreg polices the whole module: telemetry registration must stay out
 //     of //parm:hot loops and Timeline events must carry simulated, not
-//     wall-clock, timestamps.
+//     wall-clock, timestamps;
+//   - detflow and maporder (whole-program, over internal/analysis/callgraph
+//     and internal/analysis/taint) police the byte-identical contract
+//     interprocedurally: no nondeterminism source — map or sync.Map
+//     iteration order, channel arrival order, select choice, unseeded
+//     global rand, %p formatting — may flow into a determinism sink (json
+//     encoding, report tables, timeline records, core.Metrics stores),
+//     through any chain of calls, closures, or struct fields.
 //
 // cmd/parmvet is a thin wrapper around Check; the analysis driver test runs
 // the same suite over ./... so `go test` alone keeps the repository green
@@ -24,12 +31,14 @@ package parmvet
 import (
 	"strings"
 
+	"parm/internal/analysis/detflow"
 	"parm/internal/analysis/detrange"
 	"parm/internal/analysis/driver"
 	"parm/internal/analysis/errsink"
 	"parm/internal/analysis/floateq"
 	"parm/internal/analysis/hotalloc"
 	"parm/internal/analysis/lockhold"
+	"parm/internal/analysis/maporder"
 	"parm/internal/analysis/obsreg"
 	"parm/internal/analysis/poolgo"
 	"parm/internal/analysis/simclock"
@@ -90,10 +99,20 @@ func Rules() []driver.Rule {
 		}},
 		{Analyzer: simclock.Analyzer, Match: matchAny(replayablePackages)},
 		{Analyzer: obsreg.Analyzer, Match: matchPrefix("parm/")},
+		// Whole-program rules: the engine always sees every loaded package
+		// (flows cross package boundaries); Match scopes where findings may
+		// anchor, and the module owns all of it.
+		{Analyzer: detflow.Analyzer, Match: matchPrefix("parm/")},
+		{Analyzer: maporder.Analyzer, Match: matchPrefix("parm/")},
 	}
 }
 
 // Check runs the suite over the packages named by patterns.
 func Check(patterns []string) ([]driver.Finding, error) {
 	return driver.Run(patterns, Rules())
+}
+
+// CheckOpts is Check with driver options (CI runs with Tests on).
+func CheckOpts(patterns []string, opts driver.Options) ([]driver.Finding, error) {
+	return driver.RunDirOpts("", patterns, Rules(), opts)
 }

@@ -1,0 +1,500 @@
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// eval computes the taint set of one expression, applying call effects
+// (sink checks, summary application, source introduction) along the way.
+// Sets only grow across passes, so re-evaluation is safe.
+func (u *unit) eval(ctx *evalCtx, e ast.Expr) sset {
+	if e == nil {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := u.info.Uses[e]
+		if obj == nil {
+			obj = u.info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		var t sset
+		if isPackageLevel(v) {
+			t = u.e.fieldT[v.Pos()]
+		} else {
+			t = u.objT[obj]
+		}
+		if ctx != nil && ctx.sorted.Has(obj) {
+			return dropOrdered(t)
+		}
+		return t
+	case *ast.SelectorExpr:
+		if sel, ok := u.info.Selections[e]; ok {
+			switch sel.Kind() {
+			case types.FieldVal:
+				t := cloneSet(u.eval(ctx, e.X))
+				if fv, ok := sel.Obj().(*types.Var); ok {
+					for el := range u.e.fieldT[fv.Pos()] {
+						t, _ = t.add(el)
+					}
+				}
+				return t
+			case types.MethodVal:
+				return u.eval(ctx, e.X)
+			}
+			return nil
+		}
+		// Package-qualified name.
+		if v, ok := u.info.Uses[e.Sel].(*types.Var); ok {
+			return u.e.fieldT[v.Pos()]
+		}
+		return nil
+	case *ast.CallExpr:
+		return u.evalCall(ctx, e)
+	case *ast.UnaryExpr:
+		t := u.eval(ctx, e.X)
+		if e.Op == token.ARROW {
+			// A receive whose block lies on a CFG cycle sees arrival order:
+			// which value lands i-th depends on goroutine completion order.
+			inLoop := ctx != nil && ctx.fg != nil && ctx.fg.loops[ctx.block]
+			if inLoop {
+				if src := u.e.sourceAt(KindChanOrder, e.Pos(),
+					"arrival order of channel receive in loop", u.node); src != nil {
+					t = cloneSet(t)
+					t, _ = t.add(src)
+				}
+			}
+		}
+		return t
+	case *ast.BinaryExpr:
+		return unionSets(u.eval(ctx, e.X), u.eval(ctx, e.Y))
+	case *ast.StarExpr:
+		return u.eval(ctx, e.X)
+	case *ast.TypeAssertExpr:
+		return u.eval(ctx, e.X)
+	case *ast.IndexExpr:
+		return unionSets(u.eval(ctx, e.X), u.eval(ctx, e.Index))
+	case *ast.IndexListExpr:
+		return u.eval(ctx, e.X)
+	case *ast.SliceExpr:
+		return u.eval(ctx, e.X)
+	case *ast.CompositeLit:
+		return u.evalComposite(ctx, e)
+	}
+	return nil
+}
+
+// evalComposite folds element taint and records stores into struct fields,
+// including the sink-struct check for literals of designated types.
+func (u *unit) evalComposite(ctx *evalCtx, lit *ast.CompositeLit) sset {
+	var all sset
+	tv, _ := u.info.Types[lit]
+	var structType *types.Struct
+	isSinkStruct := false
+	if tv.Type != nil {
+		structType, _ = tv.Type.Underlying().(*types.Struct)
+		_, isSinkStruct = u.e.spec.SinkFields[namedTypeName(tv.Type)]
+	}
+	for i, elt := range lit.Elts {
+		valExpr := elt
+		var field *types.Var
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			valExpr = kv.Value
+			if key, ok := kv.Key.(*ast.Ident); ok && structType != nil {
+				field, _ = u.info.Uses[key].(*types.Var)
+			} else {
+				all = unionSets(all, u.eval(ctx, kv.Key))
+			}
+		} else if structType != nil && i < structType.NumFields() {
+			field = structType.Field(i)
+		}
+		t := u.eval(ctx, valExpr)
+		all = unionSets(all, t)
+		// The literal value itself carries the element taint (flows through
+		// assignments and encodings); for non-sink structs the field slot
+		// additionally remembers it so later field reads see it. Sink-struct
+		// slots stay clean — their stores are terminal (see assignTo).
+		if field != nil && len(t) > 0 && !isSinkStruct {
+			u.storeField(field, t, valExpr)
+		}
+	}
+	return all
+}
+
+// evalCall interprets one call: builtins, source-introducing stdlib calls,
+// sanitizers, sink calls, and summary application for program callees.
+func (u *unit) evalCall(ctx *evalCtx, call *ast.CallExpr) sset {
+	// Builtins first.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := u.info.Uses[id].(*types.Builtin); ok {
+			return u.evalBuiltin(ctx, call, b.Name())
+		}
+		// A conversion T(x) preserves taint.
+		if _, ok := u.info.Uses[id].(*types.TypeName); ok && len(call.Args) == 1 {
+			return u.eval(ctx, call.Args[0])
+		}
+	}
+
+	fn := u.staticCallee(call)
+	if fn != nil {
+		if t, handled := u.evalSpecialCall(ctx, call, fn); handled {
+			return t
+		}
+		if desc, ok := u.e.spec.SinkCalls[fn.FullName()]; ok {
+			sink := Sink{Pos: call.Pos(), Desc: desc}
+			for _, arg := range call.Args {
+				u.sinkHit(sink, u.eval(ctx, arg), call.Pos())
+			}
+			if len(call.Args) == 0 {
+				u.sinkHit(sink, nil, call.Pos())
+			}
+			return nil
+		}
+	}
+
+	// Program callees: apply their summaries (interface calls fan out).
+	cands := u.e.g.CalleesAt(call)
+	if len(cands) > 0 {
+		var t sset
+		applied := false
+		for _, cand := range cands {
+			sum := u.e.sums[cand]
+			if sum == nil {
+				continue
+			}
+			applied = true
+			t = unionSets(t, u.applySummary(ctx, call, cand, sum))
+		}
+		if applied {
+			return t
+		}
+	}
+	// Unresolved or external: conservative pass-through of argument taint.
+	var t sset
+	for _, arg := range call.Args {
+		t = unionSets(t, u.eval(ctx, arg))
+	}
+	return t
+}
+
+// evalBuiltin models the builtins that matter for taint.
+func (u *unit) evalBuiltin(ctx *evalCtx, call *ast.CallExpr, name string) sset {
+	switch name {
+	case "append":
+		var t sset
+		for _, arg := range call.Args {
+			t = unionSets(t, u.eval(ctx, arg))
+		}
+		// Appending inside an ordering context freezes the context's
+		// iteration order into the slice.
+		for _, src := range u.spanSources(call.Pos()) {
+			t = cloneSet(t)
+			t, _ = t.add(src)
+		}
+		return t
+	case "copy":
+		if len(call.Args) == 2 {
+			if obj := u.rootObj(call.Args[0]); obj != nil {
+				u.taintObj(obj, u.eval(ctx, call.Args[1]))
+			}
+		}
+		return nil
+	case "len", "cap", "make", "new", "delete", "clear":
+		// Cardinality and allocation are order-insensitive.
+		return nil
+	}
+	var t sset
+	for _, arg := range call.Args {
+		t = unionSets(t, u.eval(ctx, arg))
+	}
+	return t
+}
+
+// randConstructors build local generators; everything else package-level in
+// math/rand draws from the shared, unseeded global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// fmtFormatters are the fmt functions whose result carries their operands
+// (and, with %p, a nondeterministic address rendering).
+var fmtFormatters = map[string]int{
+	// name -> index of the format-string argument (-1: no format string)
+	"Sprintf": 0, "Appendf": 1, "Errorf": 0, "Sprint": -1, "Sprintln": -1,
+}
+
+// evalSpecialCall models stdlib calls with source or sanitizer semantics.
+// handled reports whether the call was fully interpreted.
+func (u *unit) evalSpecialCall(ctx *evalCtx, call *ast.CallExpr, fn *types.Func) (sset, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil, false
+	}
+	switch pkg.Path() {
+	case "math/rand", "math/rand/v2":
+		if sigOf(fn).Recv() != nil || randConstructors[fn.Name()] {
+			return nil, false
+		}
+		src := u.e.sourceAt(KindGlobalRand, call.Pos(),
+			"unseeded global "+pkg.Name()+"."+fn.Name(), u.node)
+		if src == nil {
+			return nil, true
+		}
+		return sset{src: true}, true
+	case "fmt":
+		fmtIdx, ok := fmtFormatters[fn.Name()]
+		if !ok {
+			return nil, false
+		}
+		var t sset
+		for _, arg := range call.Args {
+			t = unionSets(t, u.eval(ctx, arg))
+		}
+		if fmtIdx >= 0 && fmtIdx < len(call.Args) {
+			if lit, ok := ast.Unparen(call.Args[fmtIdx]).(*ast.BasicLit); ok &&
+				lit.Kind == token.STRING && strings.Contains(lit.Value, "%p") {
+				if src := u.e.sourceAt(KindPtrFormat, call.Pos(),
+					"pointer address formatting (%p)", u.node); src != nil {
+					t = cloneSet(t)
+					t, _ = t.add(src)
+				}
+			}
+		}
+		return t, true
+	case "sort", "slices":
+		if !sortFuncs[fn.Name()] && fn.Name() != "Sorted" && fn.Name() != "SortedFunc" {
+			return nil, false
+		}
+		// Sorting erases ordering taint; the flow-sensitive sorted-facts
+		// analysis additionally cleans the in-place operand downstream.
+		var t sset
+		for _, arg := range call.Args {
+			t = unionSets(t, u.eval(ctx, arg))
+		}
+		return dropOrdered(t), true
+	}
+	return nil, false
+}
+
+// applySummary instantiates a callee summary at one call site.
+func (u *unit) applySummary(ctx *evalCtx, call *ast.CallExpr, callee interface{ Name() string }, sum *summary) sset {
+	argT := func(i int) sset { return u.argTaint(ctx, call, i, sum.nparams) }
+
+	// Sinks the callee reaches regardless of arguments: calling it from
+	// inside an ordering context runs the sink once per iteration, and the
+	// caller inherits them into its own unconditional-sink set.
+	mySum := u.e.sums[u.node]
+	// Audited: every write below is keyed by ref.sink.Pos and addFlow keeps
+	// the lexicographically smallest path, so iteration order is immaterial.
+	//parm:det
+	for _, ref := range sum.allSinks {
+		path := append([]string{callee.Name()}, ref.path...)
+		for _, src := range u.spanSources(call.Pos()) {
+			u.e.addFlow(src, ref.sink, append([]string{u.name}, path...))
+		}
+		if _, ok := mySum.allSinks[ref.sink.Pos]; !ok {
+			mySum.allSinks[ref.sink.Pos] = sinkRef{sink: ref.sink, path: path}
+			u.localChanged, u.e.changed = true, true
+		}
+	}
+
+	for i := 0; i < sum.nparams; i++ {
+		hasSinks := len(sum.paramSinks[i]) > 0
+		hasFields := len(sum.paramFields[i]) > 0
+		if !hasSinks && !hasFields {
+			continue
+		}
+		at := argT(i)
+		if len(at) == 0 {
+			continue
+		}
+		if hasSinks {
+			u.propagateSinks(callee.Name(), sum.paramSinks[i], at)
+		}
+		if hasFields {
+			for fpos := range sum.paramFields[i] {
+				u.storeFieldPos(fpos, at)
+			}
+		}
+	}
+	// Combined result taint, for single-value contexts; tuple assignments
+	// go through evalCallMulti for per-position precision.
+	var ret sset
+	for _, rset := range sum.results {
+		ret = unionSets(ret, u.instantiate(ctx, call, rset, sum.nparams))
+	}
+	return ret
+}
+
+// instantiate maps a summary taint set onto one call site: param elements
+// become the corresponding argument's taint, sources pass through.
+func (u *unit) instantiate(ctx *evalCtx, call *ast.CallExpr, t sset, nparams int) sset {
+	var out sset
+	for el := range t {
+		switch el := el.(type) {
+		case *Source:
+			out, _ = out.add(el)
+		case param:
+			out = unionSets(out, u.argTaint(ctx, call, int(el), nparams))
+		}
+	}
+	return out
+}
+
+// evalCallMulti returns per-result taint for an n-valued call resolved
+// through program summaries, or nil when no callee summary matches (the
+// caller then smears the combined taint over every target). Sink and field
+// side effects are eval's job; this only maps result positions.
+func (u *unit) evalCallMulti(ctx *evalCtx, call *ast.CallExpr, n int) []sset {
+	rets := make([]sset, n)
+	found := false
+	for _, cand := range u.e.g.CalleesAt(call) {
+		sum := u.e.sums[cand]
+		if sum == nil || len(sum.results) != n {
+			continue
+		}
+		found = true
+		for j, rset := range sum.results {
+			rets[j] = unionSets(rets[j], u.instantiate(ctx, call, rset, sum.nparams))
+		}
+	}
+	if !found {
+		return nil
+	}
+	return rets
+}
+
+// propagateSinks turns a callee's parameter-sink obligations into flows (for
+// concrete sources) or into this function's own obligations (for parameter
+// taint).
+func (u *unit) propagateSinks(calleeName string, refs map[token.Pos]sinkRef, at sset) {
+	sum := u.e.sums[u.node]
+	// Audited: writes are keyed by ref.sink.Pos and addFlow selects the
+	// smallest path, so the order this map is walked in is immaterial.
+	//parm:det
+	for _, ref := range refs {
+		path := append([]string{calleeName}, ref.path...)
+		for el := range at {
+			switch el := el.(type) {
+			case *Source:
+				u.e.addFlow(el, ref.sink, append([]string{u.name}, path...))
+			case param:
+				if _, ok := sum.paramSinks[el][ref.sink.Pos]; !ok {
+					sum.paramSinks[el][ref.sink.Pos] = sinkRef{sink: ref.sink, path: path}
+					u.localChanged, u.e.changed = true, true
+				}
+			}
+		}
+	}
+}
+
+// storeFieldPos merges taint into a field slot by declaration position.
+func (u *unit) storeFieldPos(fpos token.Pos, t sset) {
+	sum := u.e.sums[u.node]
+	for el := range t {
+		switch el := el.(type) {
+		case *Source:
+			var added bool
+			u.e.fieldT[fpos], added = u.e.fieldT[fpos].add(el)
+			if added {
+				u.localChanged, u.e.changed = true, true
+			}
+		case param:
+			if !sum.paramFields[el][fpos] {
+				sum.paramFields[el][fpos] = true
+				u.localChanged, u.e.changed = true, true
+			}
+		}
+	}
+}
+
+// argTaint maps a callee parameter index (receiver first) to the taint of
+// the corresponding call-site expression.
+func (u *unit) argTaint(ctx *evalCtx, call *ast.CallExpr, i, nparams int) sset {
+	args := call.Args
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := u.info.Selections[sel]; ok && s.Kind() == types.MethodVal && sigOf(s.Obj().(*types.Func)).Recv() != nil {
+			// Method call: the receiver is parameter 0 only when the callee
+			// summary indexes it (its signature has a receiver).
+			if hasRecv(u, call) {
+				if i == 0 {
+					return u.eval(ctx, sel.X)
+				}
+				i--
+			}
+		}
+	}
+	if i < len(args) {
+		// For the final (possibly variadic) parameter fold the tail.
+		if i == nparams-1 && len(args) > nparams {
+			var t sset
+			for _, a := range args[i:] {
+				t = unionSets(t, u.eval(ctx, a))
+			}
+			return t
+		}
+		return u.eval(ctx, args[i])
+	}
+	if nparams > 0 && i == nparams-1 && len(args) >= nparams {
+		var t sset
+		for _, a := range args[nparams-1:] {
+			t = unionSets(t, u.eval(ctx, a))
+		}
+		return t
+	}
+	return nil
+}
+
+// sigOf is (*types.Func).Signature without the go1.23 API requirement.
+func sigOf(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}
+
+// hasRecv reports whether the call's resolved callee carries a receiver
+// parameter (true for method-value calls).
+func hasRecv(u *unit, call *ast.CallExpr) bool {
+	fn := u.staticCallee(call)
+	return fn != nil && sigOf(fn).Recv() != nil
+}
+
+// dropOrdered strips iteration/arrival-ordering sources from a set.
+func dropOrdered(t sset) sset {
+	var out sset
+	for el := range t {
+		if src, ok := el.(*Source); ok && src.Kind.Ordered() {
+			continue
+		}
+		out, _ = out.add(el)
+	}
+	return out
+}
+
+// cloneSet copies a set so shared state is never mutated in place.
+func cloneSet(t sset) sset {
+	out := make(sset, len(t))
+	for el := range t {
+		out[el] = true
+	}
+	return out
+}
+
+// unionSets returns the union of two sets without mutating either.
+func unionSets(a, b sset) sset {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := cloneSet(a)
+	for el := range b {
+		out[el] = true
+	}
+	return out
+}

@@ -1,0 +1,692 @@
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/callgraph"
+	"parm/internal/analysis/cfg"
+)
+
+// unit is one declared function under analysis, together with every
+// function literal it (transitively) creates: literals share the enclosing
+// function's variables, which models closures and goroutine bodies
+// directly.
+type unit struct {
+	e    *engine
+	node *callgraph.Node
+	pkg  *analysis.ProgramPackage
+	info *types.Info
+	name string
+
+	// paramObjs lists receiver-then-parameters in signature order (nil for
+	// unnamed entries); param(i) indexes into it.
+	paramObjs []types.Object
+	// namedResults back bare returns.
+	namedResults []types.Object
+	// graphs holds the CFG of the declared body and of each literal.
+	graphs []*funcGraph
+	// objT is the function-local taint state, monotone across iterations.
+	objT map[types.Object]sset
+	// spans are the ordering contexts (map-range bodies, channel ranges,
+	// sync.Map.Range callbacks) with their canonical sources.
+	spans []span
+	// selectComm taints the bindings of multi-case select comm clauses.
+	selectComm map[ast.Stmt]*Source
+	// localChanged is set whenever the unit's state grew this pass.
+	localChanged bool
+}
+
+// funcGraph is one body's CFG with its derived facts.
+type funcGraph struct {
+	g     *cfg.Graph
+	loops map[*cfg.Block]bool
+	// sortedIn is the flow-sensitive "this slice has been sorted" fact set
+	// at each block entry, from the cfg forward-dataflow fixpoint.
+	sortedIn map[*cfg.Block]cfg.Facts[types.Object]
+}
+
+// span is one ordering context: statements between from and to execute in
+// an order the runtime does not fix.
+type span struct {
+	from, to token.Pos
+	src      *Source
+}
+
+// evalCtx carries the position-dependent state of one walk step.
+type evalCtx struct {
+	fg *funcGraph
+	// block is the CFG block being walked (nil during setup scans).
+	block *cfg.Block
+	// sorted is the sorted-slices fact set at the current statement.
+	sorted cfg.Facts[types.Object]
+}
+
+// newUnit prepares one declared function for analysis.
+func (e *engine) newUnit(n *callgraph.Node) *unit {
+	u := &unit{
+		e:          e,
+		node:       n,
+		pkg:        n.Pkg,
+		info:       n.Pkg.Info,
+		name:       n.Name(),
+		objT:       make(map[types.Object]sset),
+		selectComm: make(map[ast.Stmt]*Source),
+	}
+	// Receiver, then parameters, in declaration order.
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				u.paramObjs = append(u.paramObjs, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				u.paramObjs = append(u.paramObjs, u.info.Defs[name])
+			}
+		}
+	}
+	collect(n.Decl.Recv)
+	collect(n.Decl.Type.Params)
+	if res := n.Decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, name := range f.Names {
+				if obj := u.info.Defs[name]; obj != nil {
+					u.namedResults = append(u.namedResults, obj)
+				}
+			}
+		}
+	}
+	for i, obj := range u.paramObjs {
+		if obj != nil {
+			u.objT[obj], _ = u.objT[obj].add(param(i))
+		}
+	}
+
+	// The declared body plus every literal reachable through Lit edges.
+	bodies := []*ast.BlockStmt{n.Decl.Body}
+	var addLits func(from *callgraph.Node)
+	addLits = func(from *callgraph.Node) {
+		for _, edge := range from.Out {
+			if edge.Kind == callgraph.Lit && edge.Callee.Lit != nil {
+				bodies = append(bodies, edge.Callee.Lit.Body)
+				addLits(edge.Callee)
+			}
+		}
+	}
+	addLits(n)
+	for _, body := range bodies {
+		g := cfg.New(body)
+		u.graphs = append(u.graphs, &funcGraph{
+			g:        g,
+			loops:    g.LoopBlocks(),
+			sortedIn: cfg.Forward(g, u.sortedTransfer),
+		})
+	}
+
+	u.setupContexts(n.Decl.Body)
+	return u
+}
+
+// setupContexts scans the unit's AST once for ordering contexts: map and
+// channel ranges, multi-case selects, and sync.Map.Range callbacks.
+func (u *unit) setupContexts(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := u.info.Types[n.X]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				src := u.e.sourceAt(KindMapRange, n.Pos(),
+					"map iteration order of range over "+types.ExprString(n.X), u.node)
+				u.addSpan(n.Body, src)
+			case *types.Chan:
+				src := u.e.sourceAt(KindChanOrder, n.Pos(),
+					"arrival order of range over channel "+types.ExprString(n.X), u.node)
+				u.addSpan(n.Body, src)
+			}
+		case *ast.SelectStmt:
+			var comms []*ast.CommClause
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms = append(comms, cc)
+				}
+			}
+			if len(comms) < 2 {
+				return true
+			}
+			for _, cc := range comms {
+				src := u.e.sourceAt(KindSelectOrder, n.Pos(),
+					"case choice of multi-ready select", u.node)
+				if src != nil {
+					u.selectComm[cc.Comm] = src
+				}
+			}
+		case *ast.CallExpr:
+			// sync.Map.Range(func(k, v any) bool { ... }) iterates in
+			// unspecified order: the callback body is an ordering context
+			// and its parameters are order-bound.
+			fn := u.staticCallee(n)
+			if fn == nil || fn.FullName() != "(*sync.Map).Range" || len(n.Args) != 1 {
+				return true
+			}
+			lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			src := u.e.sourceAt(KindSyncMapRange, n.Pos(), "sync.Map.Range iteration order", u.node)
+			u.addSpan(lit.Body, src)
+			if src != nil {
+				for _, f := range lit.Type.Params.List {
+					for _, name := range f.Names {
+						if obj := u.info.Defs[name]; obj != nil {
+							u.taintObj(obj, sset{src: true})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (u *unit) addSpan(body *ast.BlockStmt, src *Source) {
+	if src == nil || body == nil {
+		return
+	}
+	u.spans = append(u.spans, span{from: body.Pos(), to: body.End(), src: src})
+}
+
+// spanSources returns the ordering contexts enclosing pos.
+func (u *unit) spanSources(pos token.Pos) []*Source {
+	var out []*Source
+	for _, s := range u.spans {
+		if s.from <= pos && pos <= s.to {
+			out = append(out, s.src)
+		}
+	}
+	return out
+}
+
+// ---- sorted-slice dataflow (flow-sensitive, on the cfg fixpoint) ----
+
+// sortedTransfer is the cfg.Forward transfer function: a sort call gens a
+// "sorted" fact for its operand, any later write to the operand kills it.
+func (u *unit) sortedTransfer(b *cfg.Block, in cfg.Facts[types.Object]) cfg.Facts[types.Object] {
+	out := in.Clone()
+	for _, n := range b.Nodes {
+		u.sortedStep(n, out)
+	}
+	return out
+}
+
+// sortedStep applies one statement's effect to the sorted-fact set.
+func (u *unit) sortedStep(n ast.Node, facts cfg.Facts[types.Object]) {
+	inspectShallow(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if obj := u.sortTarget(x); obj != nil {
+				facts.Add(obj)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if obj := u.rootObj(lhs); obj != nil {
+					facts.Delete(obj)
+				}
+			}
+		case *ast.RangeStmt:
+			for _, bind := range []ast.Expr{x.Key, x.Value} {
+				if bind == nil {
+					continue
+				}
+				if obj := u.rootObj(bind); obj != nil {
+					facts.Delete(obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortFuncs are the sort/slices entry points that order their first
+// argument in place.
+var sortFuncs = map[string]bool{
+	"Ints": true, "Strings": true, "Float64s": true, "Sort": true,
+	"Stable": true, "Slice": true, "SliceStable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortTarget returns the object a call sorts, or nil.
+func (u *unit) sortTarget(call *ast.CallExpr) types.Object {
+	fn := u.staticCallee(call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return nil
+	}
+	if !sortFuncs[fn.Name()] {
+		return nil
+	}
+	return u.rootObj(call.Args[0])
+}
+
+// ---- analysis driver ----
+
+// analyze runs the unit's local fixpoint, updating the engine's summaries,
+// field taint, and flows.
+func (u *unit) analyze() {
+	for pass := 0; pass < 32; pass++ {
+		u.localChanged = false
+		for _, fg := range u.graphs {
+			for _, b := range fg.g.Blocks {
+				ctx := &evalCtx{fg: fg, block: b, sorted: fg.sortedIn[b].Clone()}
+				for _, n := range b.Nodes {
+					u.process(ctx, n)
+					u.sortedStep(n, ctx.sorted)
+				}
+			}
+		}
+		if !u.localChanged {
+			break
+		}
+	}
+}
+
+// taintObj merges t into obj's taint set.
+func (u *unit) taintObj(obj types.Object, t sset) {
+	if obj == nil || obj.Name() == "_" {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && isPackageLevel(v) {
+		u.storeField(v, t, nil)
+		return
+	}
+	cur := u.objT[obj]
+	for el := range t {
+		var added bool
+		cur, added = cur.add(el)
+		u.localChanged = u.localChanged || added
+	}
+	u.objT[obj] = cur
+}
+
+// storeField records a store into a struct field or package-level variable,
+// keyed by declaration position so distinct type-check runs unify. Param
+// taint becomes a summary obligation.
+func (u *unit) storeField(v *types.Var, t sset, _ ast.Node) {
+	sum := u.e.sums[u.node]
+	for el := range t {
+		switch el := el.(type) {
+		case *Source:
+			var added bool
+			u.e.fieldT[v.Pos()], added = u.e.fieldT[v.Pos()].add(el)
+			if added {
+				u.localChanged, u.e.changed = true, true
+			}
+		case param:
+			if !sum.paramFields[el][v.Pos()] {
+				sum.paramFields[el][v.Pos()] = true
+				u.localChanged, u.e.changed = true, true
+			}
+		}
+	}
+}
+
+// process interprets one CFG node.
+func (u *unit) process(ctx *evalCtx, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		u.handleAssign(ctx, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				for i, name := range vs.Names {
+					var t sset
+					if len(vs.Values) == len(vs.Names) {
+						t = u.eval(ctx, vs.Values[i])
+					} else {
+						t = u.eval(ctx, vs.Values[0])
+					}
+					u.taintObj(u.info.Defs[name], t)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		u.handleReturn(ctx, n)
+	case *ast.SendStmt:
+		// A send taints the channel object; receives read it back.
+		t := u.eval(ctx, n.Value)
+		if obj := u.rootObj(n.Chan); obj != nil {
+			u.taintObj(obj, t)
+		}
+	case *ast.RangeStmt:
+		t := u.eval(ctx, n.X)
+		if tv, ok := u.info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				if src := u.e.sourceAt(KindChanOrder, n.Pos(),
+					"arrival order of range over channel "+types.ExprString(n.X), u.node); src != nil {
+					t, _ = t.add(src)
+				}
+			}
+		}
+		for _, bind := range []ast.Expr{n.Key, n.Value} {
+			if bind == nil {
+				continue
+			}
+			if id, ok := bind.(*ast.Ident); ok {
+				if obj := u.info.Defs[id]; obj != nil {
+					u.taintObj(obj, t)
+				} else if obj := u.info.Uses[id]; obj != nil {
+					u.taintObj(obj, t)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		u.scanCalls(ctx, n.X)
+	default:
+		// Conditions, send/receive in comm clauses, defer/go statements:
+		// evaluate embedded calls for their sink and summary effects.
+		u.scanCalls(ctx, n)
+	}
+	if stmt, ok := n.(ast.Stmt); ok {
+		if src, ok2 := u.selectComm[stmt]; ok2 {
+			u.taintSelectComm(ctx, stmt, src)
+		}
+	}
+}
+
+// taintSelectComm taints the bindings of one multi-case select comm clause.
+func (u *unit) taintSelectComm(ctx *evalCtx, stmt ast.Stmt, src *Source) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	t := sset{src: true}
+	for _, lhs := range as.Lhs {
+		u.assignTo(ctx, lhs, t)
+	}
+}
+
+// scanCalls evaluates every call in n (without descending into literals,
+// whose bodies have their own CFGs).
+func (u *unit) scanCalls(ctx *evalCtx, n ast.Node) {
+	inspectShallow(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			u.eval(ctx, call)
+			return false // eval recurses into the arguments itself
+		}
+		return true
+	})
+}
+
+// handleAssign interprets one assignment, including the ordering-context
+// accumulation rules and content-keyed stores.
+func (u *unit) handleAssign(ctx *evalCtx, as *ast.AssignStmt) {
+	switch {
+	case as.Tok == token.ASSIGN || as.Tok == token.DEFINE:
+		if len(as.Rhs) == len(as.Lhs) {
+			for i := range as.Lhs {
+				u.assignTo(ctx, as.Lhs[i], u.eval(ctx, as.Rhs[i]))
+			}
+			return
+		}
+		// Tuple assignment. A summarized call maps result positions onto
+		// targets exactly; everything else (comma-ok, unresolved calls)
+		// smears the combined taint over every target.
+		t := u.eval(ctx, as.Rhs[0])
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if multi := u.evalCallMulti(ctx, call, len(as.Lhs)); multi != nil {
+				for i, lhs := range as.Lhs {
+					u.assignTo(ctx, lhs, multi[i])
+				}
+				return
+			}
+		}
+		for _, lhs := range as.Lhs {
+			u.assignTo(ctx, lhs, t)
+		}
+	default:
+		// Op-assign. String and floating-point accumulation inside an
+		// ordering context is order-sensitive (concatenation order; float
+		// addition does not commute bit-exactly).
+		t := u.eval(ctx, as.Lhs[0])
+		for el := range u.eval(ctx, as.Rhs[0]) {
+			t, _ = t.add(el)
+		}
+		if tv, ok := u.info.Types[as.Lhs[0]]; ok && isOrderSensitiveAccum(tv.Type) {
+			for _, src := range u.spanSources(as.Pos()) {
+				t, _ = t.add(src)
+			}
+		}
+		u.assignTo(ctx, as.Lhs[0], t)
+	}
+}
+
+// isOrderSensitiveAccum reports whether accumulating values of type typ is
+// sensitive to accumulation order (strings concatenate; float addition is
+// not bit-exactly associative).
+func isOrderSensitiveAccum(typ types.Type) bool {
+	b, ok := typ.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsString|types.IsFloat|types.IsComplex) != 0
+}
+
+// assignTo merges taint t into an assignment target.
+func (u *unit) assignTo(ctx *evalCtx, lhs ast.Expr, t sset) {
+	if len(t) == 0 {
+		return
+	}
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := u.info.Defs[lhs]; obj != nil {
+			u.taintObj(obj, t)
+		} else if obj := u.info.Uses[lhs]; obj != nil {
+			u.taintObj(obj, t)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := u.info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			fv, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			// A store into a designated sink struct is terminal: it is
+			// reported as a sink and deliberately NOT recorded as field
+			// taint — otherwise every store to the field would re-read (and
+			// re-report) every other store's sources.
+			if desc, ok := u.e.spec.SinkFields[namedTypeName(sel.Recv())]; ok {
+				u.sinkHit(Sink{Pos: lhs.Pos(), Desc: "store to " + desc + "." + fv.Name()}, t, lhs.Pos())
+				return
+			}
+			u.storeField(fv, t, lhs)
+			return
+		}
+		if v, ok := u.info.Uses[lhs.Sel].(*types.Var); ok {
+			u.storeField(v, t, lhs)
+		}
+	case *ast.IndexExpr:
+		// Content-keyed stores (results[r.idx] = r) re-key arrival order
+		// deterministically: ordering sources shared by index and value do
+		// not propagate into the container.
+		it := u.eval(ctx, lhs.Index)
+		filtered := make(sset, len(t))
+		for el := range t {
+			if src, ok := el.(*Source); ok && src.Kind.Ordered() && it[el] {
+				continue
+			}
+			filtered[el] = true
+		}
+		u.assignTo(ctx, lhs.X, filtered)
+	case *ast.StarExpr:
+		if obj := u.rootObj(lhs.X); obj != nil {
+			u.taintObj(obj, t)
+		}
+	}
+}
+
+// sinkHit records flows and summary obligations for one sink consumption:
+// every source in t flows, every tainted parameter becomes a caller
+// obligation, and every enclosing ordering context flows positionally.
+func (u *unit) sinkHit(sink Sink, t sset, pos token.Pos) {
+	sum := u.e.sums[u.node]
+	if _, ok := sum.allSinks[sink.Pos]; !ok {
+		sum.allSinks[sink.Pos] = sinkRef{sink: sink}
+		u.localChanged, u.e.changed = true, true
+	}
+	for el := range t {
+		switch el := el.(type) {
+		case *Source:
+			u.e.addFlow(el, sink, []string{u.name})
+		case param:
+			if _, ok := sum.paramSinks[el][sink.Pos]; !ok {
+				sum.paramSinks[el][sink.Pos] = sinkRef{sink: sink}
+				u.localChanged, u.e.changed = true, true
+			}
+		}
+	}
+	for _, src := range u.spanSources(pos) {
+		u.e.addFlow(src, sink, []string{u.name})
+	}
+}
+
+// handleReturn folds returned taint into the function summary, per result
+// position. Returns inside function literals are the literal's, not the
+// declared function's — only the declared body (the unit's first graph)
+// contributes.
+func (u *unit) handleReturn(ctx *evalCtx, rs *ast.ReturnStmt) {
+	if ctx.fg != u.graphs[0] {
+		return
+	}
+	sum := u.e.sums[u.node]
+	record := func(i int, t sset) {
+		if i >= len(sum.results) {
+			return
+		}
+		for el := range t {
+			var added bool
+			sum.results[i], added = sum.results[i].add(el)
+			if added {
+				u.localChanged, u.e.changed = true, true
+			}
+		}
+	}
+	switch {
+	case len(rs.Results) == 0:
+		for i, obj := range u.namedResults {
+			record(i, u.objT[obj])
+		}
+	case len(rs.Results) == 1 && len(sum.results) > 1:
+		// `return f()` forwarding a tuple: map the callee's results through.
+		if call, ok := ast.Unparen(rs.Results[0]).(*ast.CallExpr); ok {
+			if multi := u.evalCallMulti(ctx, call, len(sum.results)); multi != nil {
+				for i, t := range multi {
+					record(i, t)
+				}
+				return
+			}
+		}
+		t := u.eval(ctx, rs.Results[0])
+		for i := range sum.results {
+			record(i, t)
+		}
+	default:
+		for i, res := range rs.Results {
+			record(i, u.eval(ctx, res))
+		}
+	}
+}
+
+// rootObj resolves the base object of an lvalue-ish expression, stripping
+// unary, star, index, slice, and selector wrappers.
+func (u *unit) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := u.info.Uses[x]; obj != nil {
+				return obj
+			}
+			return u.info.Defs[x]
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// staticCallee resolves a call's target function when it is syntactically
+// direct (declared function, method, or qualified name), else nil.
+func (u *unit) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := u.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := u.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := u.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPackageLevel reports whether v is a package-scope variable.
+func isPackageLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// namedTypeName returns "pkgpath.Name" of a (possibly pointer-wrapped)
+// named type, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// function literal bodies (they have their own CFGs) and visits range
+// statements shallowly, mirroring cfg.Inspect.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	cfg.Inspect(n, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			fn(lit)
+			return false
+		}
+		return fn(x)
+	})
+}

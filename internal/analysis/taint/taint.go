@@ -1,0 +1,350 @@
+// Package taint is a summary-based interprocedural taint engine over the
+// callgraph layer, built to prove (statically, and over-approximately) the
+// repository's byte-identical determinism contract: no nondeterminism
+// source may flow into a determinism sink.
+//
+// Sources (Kind):
+//
+//   - map-order / sync-map-order — iteration order of a Go map or
+//     sync.Map.Range; order-sensitive accumulations inside the loop body
+//     (append, string or float accumulation) become tainted, and any sink
+//     call issued per-iteration is order-dependent regardless of its
+//     arguments;
+//   - chan-order — arrival order of channel receives inside a loop
+//     (identified with the CFG's cycle detection) and of `range ch`;
+//   - select-order — values bound in a select with two or more comm
+//     clauses, whose choice among ready cases is randomized;
+//   - global-rand — package-level math/rand and math/rand/v2 draws
+//     (unseeded, process-global);
+//   - pointer-format — fmt verbs that render addresses (%p).
+//
+// Sinks come from a Spec: calls (JSON encoders, report-table rows,
+// timeline records) and stores to fields of designated structs
+// (core.Metrics, core.AppOutcome).
+//
+// Per function, taint propagates flow-insensitively over an
+// assignment-event fixpoint, refined by a flow-sensitive "sorted" analysis
+// run on the internal/analysis/cfg forward-dataflow fixpoint: a sort call
+// kills ordering taint downstream of it (so collect-keys-then-sort reads
+// clean), and an assignment or append to the sorted slice revives it.
+// Stores whose index is derived from the stored value itself
+// (results[r.idx] = r) are recognized as content-keyed and do not
+// propagate ordering taint — the deterministic way to collect from a
+// worker pool.
+//
+// Across functions, each declared function gets a summary — which
+// parameters flow to its results, which nondeterminism sources its results
+// carry, which parameters reach a sink or a struct field inside it or its
+// callees — and summaries propagate over the call graph (interface calls
+// fan out to every implementing type) until fixpoint. Function literals
+// are analyzed inside their enclosing declaration, sharing its variables,
+// so closures and goroutine bodies need no special casing. Struct-field
+// and package-variable taint is field-based: a tainted store anywhere
+// taints every read, keyed by declaration position so repeated type-check
+// runs of one file unify.
+//
+// Known, deliberate approximations (this is a lint, with //parm:det as
+// the audited escape hatch): calls through plain func-typed variables are
+// not resolved; a sink reached before the sort that later cleans its
+// operand is missed; channels are tracked within one function only.
+package taint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"parm/internal/analysis/callgraph"
+)
+
+// Kind classifies a nondeterminism source.
+type Kind string
+
+// The source kinds detflow hunts.
+const (
+	KindMapRange     Kind = "map-order"
+	KindSyncMapRange Kind = "sync-map-order"
+	KindChanOrder    Kind = "chan-order"
+	KindSelectOrder  Kind = "select-order"
+	KindGlobalRand   Kind = "global-rand"
+	KindPtrFormat    Kind = "pointer-format"
+)
+
+// Ordered reports whether the kind is an iteration/arrival-ordering source,
+// which sorting sanitizes and content-keyed stores neutralize. Value
+// sources (global-rand, pointer-format) survive both.
+func (k Kind) Ordered() bool {
+	switch k {
+	case KindMapRange, KindSyncMapRange, KindChanOrder, KindSelectOrder:
+		return true
+	}
+	return false
+}
+
+// Source is one nondeterminism origin, canonical per (kind, position).
+type Source struct {
+	Kind Kind
+	Pos  token.Pos
+	// Desc names the construct, e.g. `range over map "m"`.
+	Desc string
+	// Fn is the function the source occurs in.
+	Fn *callgraph.Node
+}
+
+// Sink is one determinism-sensitive consumption point.
+type Sink struct {
+	Pos token.Pos
+	// Desc names the sink, e.g. "json encoding" or "store to core.Metrics.Apps".
+	Desc string
+}
+
+// Flow is one source-to-sink witness.
+type Flow struct {
+	Source *Source
+	Sink   Sink
+	// Path lists the call chain from the function containing the flow's
+	// entry to the one containing the sink (single element when local).
+	Path []string
+}
+
+// Spec configures the engine's sink tables and source filtering.
+type Spec struct {
+	// SinkCalls maps canonical function names (types.Func.FullName, e.g.
+	// "(*encoding/json.Encoder).Encode") to a sink description. Tainted
+	// arguments, or issuing the call inside an ordering context, flow.
+	SinkCalls map[string]string
+	// SinkFields maps struct type names ("pkgpath.Name") to a description;
+	// stores into any field of such a struct are sinks.
+	SinkFields map[string]string
+	// Kinds restricts the source kinds considered; nil enables all.
+	Kinds map[Kind]bool
+	// Suppress, when set, drops sources at audited positions (//parm:det).
+	Suppress func(token.Pos) bool
+}
+
+// enabled reports whether kind participates in this run.
+func (s *Spec) enabled(k Kind) bool { return s.Kinds == nil || s.Kinds[k] }
+
+// ParmSinks returns the repository's determinism-sink tables (DESIGN.md
+// §7.4): the JSON encoders every result document leaves through, report
+// tables, timeline records, and the Metrics structs themselves.
+func ParmSinks() (calls, fields map[string]string) {
+	calls = map[string]string{
+		"encoding/json.Marshal":                "json encoding",
+		"encoding/json.MarshalIndent":          "json encoding",
+		"(*encoding/json.Encoder).Encode":      "json encoding",
+		"(*parm/internal/report.Table).AddRow": "report table row",
+		"(*parm/internal/obs.Timeline).Record": "timeline record",
+	}
+	fields = map[string]string{
+		"parm/internal/core.Metrics":    "core.Metrics",
+		"parm/internal/core.AppOutcome": "core.AppOutcome",
+	}
+	return calls, fields
+}
+
+// elem is one taint-set element: *Source, or param (incoming parameter
+// taint, for summaries).
+type elem interface{}
+
+// param is the symbolic taint of parameter i (receiver first for methods).
+type param int
+
+// sset is a small taint set.
+type sset map[elem]bool
+
+func (s sset) add(e elem) (sset, bool) {
+	if s[e] {
+		return s, false
+	}
+	if s == nil {
+		s = make(sset)
+	}
+	s[e] = true
+	return s, true
+}
+
+// sinkRef is a sink reachable from inside a function, with the call chain
+// from that function (inclusive) down to the sink.
+type sinkRef struct {
+	sink Sink
+	path []string
+}
+
+// summary is one declared function's interprocedural behavior.
+type summary struct {
+	nparams int
+	// results holds, per result position, the taint the result carries:
+	// *Source elements are concrete nondeterminism, param elements mean
+	// "whatever taint the i-th argument brings". Per-position tracking keeps
+	// `ms, err := f(...)` from smearing an order-dependent error onto ms.
+	results []sset
+	// paramSinks lists, per parameter, the sinks a tainted argument reaches,
+	// keyed by sink position.
+	paramSinks []map[token.Pos]sinkRef
+	// paramFields lists, per parameter, the field/global declaration
+	// positions a tainted argument is stored into.
+	paramFields []map[token.Pos]bool
+	// allSinks lists every sink the function reaches at all, tainted or
+	// not: a call to such a function from inside an ordering context
+	// executes the sink once per iteration, which is itself a flow.
+	allSinks map[token.Pos]sinkRef
+}
+
+func newSummary(nparams, nresults int) *summary {
+	s := &summary{
+		nparams:     nparams,
+		results:     make([]sset, nresults),
+		paramSinks:  make([]map[token.Pos]sinkRef, nparams),
+		paramFields: make([]map[token.Pos]bool, nparams),
+		allSinks:    make(map[token.Pos]sinkRef),
+	}
+	for i := range s.paramSinks {
+		s.paramSinks[i] = make(map[token.Pos]sinkRef)
+		s.paramFields[i] = make(map[token.Pos]bool)
+	}
+	return s
+}
+
+// engine is one whole-program run.
+type engine struct {
+	g    *callgraph.Graph
+	spec *Spec
+
+	units []*unit
+	sums  map[*callgraph.Node]*summary
+	// fieldT is field-based taint: declaration position of a struct field
+	// or package-level variable -> sources stored into it anywhere.
+	fieldT map[token.Pos]sset
+	// sources canonicalizes Source values per (kind, pos) so the fixpoint
+	// terminates.
+	sources map[token.Pos]*Source
+	flows   map[[2]token.Pos]*Flow
+	changed bool
+}
+
+// Run executes the engine and returns the discovered flows sorted by
+// (source position, sink position).
+func Run(g *callgraph.Graph, spec Spec) []*Flow {
+	e := &engine{
+		g:       g,
+		spec:    &spec,
+		sums:    make(map[*callgraph.Node]*summary),
+		fieldT:  make(map[token.Pos]sset),
+		sources: make(map[token.Pos]*Source),
+		flows:   make(map[[2]token.Pos]*Flow),
+	}
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Body() != nil {
+			u := e.newUnit(n)
+			e.units = append(e.units, u)
+			e.sums[n] = newSummary(len(u.paramObjs), sigOf(n.Fn).Results().Len())
+		}
+	}
+	// Interprocedural fixpoint: summaries, field taint, and flows only
+	// grow, so iteration terminates; the cap is a defensive backstop.
+	for iter := 0; iter < 64; iter++ {
+		e.changed = false
+		for _, u := range e.units {
+			u.analyze()
+		}
+		if !e.changed {
+			break
+		}
+	}
+	out := make([]*Flow, 0, len(e.flows))
+	for _, f := range e.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source.Pos != out[j].Source.Pos {
+			return out[i].Source.Pos < out[j].Source.Pos
+		}
+		return out[i].Sink.Pos < out[j].Sink.Pos
+	})
+	return out
+}
+
+// sourceAt returns the canonical source at pos, or nil when the kind is
+// disabled or the position carries an audited //parm:det.
+func (e *engine) sourceAt(k Kind, pos token.Pos, desc string, fn *callgraph.Node) *Source {
+	if !e.spec.enabled(k) {
+		return nil
+	}
+	if e.spec.Suppress != nil && e.spec.Suppress(pos) {
+		return nil
+	}
+	if s, ok := e.sources[pos]; ok {
+		return s
+	}
+	s := &Source{Kind: k, Pos: pos, Desc: desc, Fn: fn}
+	e.sources[pos] = s
+	return s
+}
+
+// addFlow records one deduplicated source-to-sink witness. When several
+// call chains reach the same pair, the lexicographically smallest path wins
+// — a total order, so the reported chain is independent of the map
+// iteration orders inside this engine.
+func (e *engine) addFlow(src *Source, sink Sink, path []string) {
+	if src == nil {
+		return
+	}
+	key := [2]token.Pos{src.Pos, sink.Pos}
+	if old, ok := e.flows[key]; ok {
+		if !lessPath(path, old.Path) {
+			return
+		}
+		old.Path = append([]string(nil), path...)
+		e.changed = true
+		return
+	}
+	e.flows[key] = &Flow{Source: src, Sink: sink, Path: append([]string(nil), path...)}
+	e.changed = true
+}
+
+// lessPath orders call chains: shorter first, then lexicographic.
+// Strictly decreasing replacement in addFlow terminates.
+func lessPath(a, b []string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// funcDisplay shortens a canonical function name for diagnostics:
+// "(*parm/internal/report.Table).AddRow" -> "(*report.Table).AddRow".
+func funcDisplay(full string) string {
+	trim := func(s string) string {
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if strings.HasPrefix(full, "(") {
+		if i := strings.Index(full, ")"); i > 0 {
+			return "(" + trim(full[1:i]) + full[i:]
+		}
+	}
+	return trim(full)
+}
+
+// PathString renders a flow's call chain for diagnostics.
+func (f *Flow) PathString() string {
+	parts := make([]string, len(f.Path))
+	for i, p := range f.Path {
+		parts[i] = funcDisplay(p)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// String renders a flow for debugging.
+func (f *Flow) String() string {
+	return fmt.Sprintf("%s -> %s via %s", f.Source.Desc, f.Sink.Desc, f.PathString())
+}

@@ -258,6 +258,10 @@ func runCells(opt Options, cells []cell) ([]*core.Metrics, error) {
 	results := make(chan result)
 	for w := 0; w < workers; w++ {
 		go func() {
+			// Audited: each job is a pure function of its index, writes a
+			// fresh Metrics, and is re-keyed by idx on collection, so worker
+			// scheduling order cannot reach any output.
+			//parm:det
 			for idx := range jobs {
 				c := cells[idx]
 				m, err := RunMetrics(opt, c.fw, c.kind, c.gap)
@@ -272,17 +276,20 @@ func runCells(opt Options, cells []cell) ([]*core.Metrics, error) {
 		close(jobs)
 	}()
 	out := make([]*core.Metrics, len(cells))
-	var firstErr error
+	errs := make([]error, len(cells))
 	for range cells {
 		r := <-results
-		if r.err != nil && firstErr == nil {
-			c := cells[r.idx]
-			firstErr = fmt.Errorf("%s/%s/%g: %w", c.fw.Name, c.kind, c.gap, r.err)
-		}
+		errs[r.idx] = r.err
 		out[r.idx] = r.m
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	// Report the failure of the lowest-index cell, not of whichever worker
+	// happened to finish first: the chosen error must not depend on
+	// scheduling (detflow caught the earlier first-arrival version).
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("%s/%s/%g: %w", c.fw.Name, c.kind, c.gap, err)
+		}
 	}
 	return out, nil
 }
