@@ -1,20 +1,25 @@
-// Command parmvet is the project's static-analysis suite: eleven analyzers
-// that mechanically enforce the invariants the PARM measurement pipeline's
-// bit-identical-metrics guarantee rests on (see DESIGN.md §7), including
-// the whole-program determinism-taint pair detflow/maporder (§7.4).
+// Command parmvet is the project's static-analysis suite: thirteen
+// analyzers that mechanically enforce the invariants the PARM measurement
+// pipeline's bit-identical-metrics guarantee rests on (see DESIGN.md §7),
+// including the whole-program determinism-taint pair detflow/maporder
+// (§7.4) and the whole-program concurrency pair racecheck/atomicmix (§7.5).
 //
 // Usage:
 //
-//	go run ./cmd/parmvet [-json] [-tests] [-run analyzer,...] [packages]
+//	go run ./cmd/parmvet [-json] [-tests] [-run analyzer,...] [-baseline file | -baseline-write file] [packages]
 //
 // It prints findings sorted by (file, line, column, analyzer), one per line
 // in file:line:col form (or, with -json, one JSON object per line), and
 // exits nonzero when any analyzer fires. -run restricts the suite to a
 // comma-separated subset of analyzers; -tests extends the analysis to
-// _test.go files (off by default, on in CI).
+// _test.go files (off by default, on in CI). -baseline filters findings
+// through an accepted-findings JSON file and errors on stale entries
+// (accepted findings that no longer fire); -baseline-write regenerates
+// that file from the current run.
 // Suppressions are //parm:orderfree, //parm:floateq, //parm:unitless,
 // //parm:pool, //parm:alloc, //parm:hold, //parm:errok, //parm:wallclock,
-// and //parm:det comments on or directly above the flagged line.
+// //parm:det, and //parm:conc comments on or directly above the flagged
+// line.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"parm/internal/analysis/driver"
@@ -42,8 +48,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "print findings as one JSON object per line")
 	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	withTests := fs.Bool("tests", false, "also analyze _test.go files")
+	baseline := fs.String("baseline", "", "filter findings through this accepted-findings JSON file; stale entries are an error")
+	baselineWrite := fs.String("baseline-write", "", "write the current findings to this baseline file and exit clean")
 	fs.Usage = func() {
-		fprintf(stderr, "usage: parmvet [-json] [-tests] [-run analyzer,...] [packages]\n\n")
+		fprintf(stderr, "usage: parmvet [-json] [-tests] [-run analyzer,...] [-baseline file | -baseline-write file] [packages]\n\n")
 		fprintf(stderr, "Analyzers:\n")
 		for _, r := range parmvet.Rules() {
 			fprintf(stderr, "  %-10s %s\n", r.Analyzer.Name, r.Analyzer.Doc)
@@ -70,6 +78,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// The driver returns findings sorted, but re-assert the emission
 	// contract here: both outputs promise (file, line, column, analyzer).
 	driver.Sort(findings)
+	if *baselineWrite != "" {
+		if err := driver.WriteBaseline(*baselineWrite, findings); err != nil {
+			fprintf(stderr, "parmvet: %v\n", err)
+			return 2
+		}
+		fprintf(stderr, "parmvet: wrote %d finding(s) to %s\n", len(findings), *baselineWrite)
+		return 0
+	}
+	if *baseline != "" {
+		entries, err := driver.LoadBaseline(*baseline)
+		if err != nil {
+			fprintf(stderr, "parmvet: %v\n", err)
+			return 2
+		}
+		var stale []driver.BaselineEntry
+		findings, stale = driver.ApplyBaseline(findings, entries)
+		if len(stale) > 0 {
+			for _, e := range stale {
+				fprintf(stderr, "parmvet: stale baseline entry: %s %s %q (%d unmatched)\n", e.File, e.Analyzer, e.Message, e.Count)
+			}
+			fprintf(stderr, "parmvet: baseline %s is stale; regenerate with -baseline-write\n", *baseline)
+			return 2
+		}
+	}
 	if err := writeFindings(stdout, findings, *jsonOut); err != nil {
 		fprintf(stderr, "parmvet: %v\n", err)
 		return 2
@@ -99,7 +131,12 @@ func selectRules(rules []driver.Rule, filter string) ([]driver.Rule, error) {
 		}
 		r, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (see -h for the list)", name)
+			valid := make([]string, 0, len(byName))
+			for n := range byName {
+				valid = append(valid, n)
+			}
+			sort.Strings(valid)
+			return nil, fmt.Errorf("unknown analyzer %q; valid names: %s", name, strings.Join(valid, ", "))
 		}
 		out = append(out, r)
 	}

@@ -43,8 +43,13 @@ func TestSelectRulesSubsetAndOrder(t *testing.T) {
 }
 
 func TestSelectRulesUnknownName(t *testing.T) {
-	if _, err := selectRules(fakeRules("a"), "nosuch"); err == nil {
+	_, err := selectRules(fakeRules("b", "a"), "nosuch")
+	if err == nil {
 		t.Fatal("expected error for unknown analyzer name")
+	}
+	// The error must list the valid names, sorted, so a typo is self-serve.
+	if !strings.Contains(err.Error(), "valid names: a, b") {
+		t.Fatalf("error %q does not list the valid analyzer names", err)
 	}
 }
 
@@ -128,13 +133,17 @@ func TestRunRejectsUnknownAnalyzer(t *testing.T) {
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Fatalf("stderr missing explanation:\n%s", errOut.String())
 	}
+	if !strings.Contains(errOut.String(), "racecheck") {
+		t.Fatalf("stderr does not list the valid analyzer names:\n%s", errOut.String())
+	}
 }
 
-func TestSuiteHasElevenAnalyzers(t *testing.T) {
+func TestSuiteHasThirteenAnalyzers(t *testing.T) {
 	want := map[string]bool{
 		"detrange": true, "poolgo": true, "unitsafe": true, "floateq": true,
 		"hotalloc": true, "lockhold": true, "errsink": true, "simclock": true,
 		"obsreg": true, "detflow": true, "maporder": true,
+		"racecheck": true, "atomicmix": true,
 	}
 	rules := parmvet.Rules()
 	if len(rules) != len(want) {

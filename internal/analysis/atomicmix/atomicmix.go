@@ -1,0 +1,51 @@
+// Package atomicmix is the whole-program atomic-discipline lint: it runs
+// the conc engine and reports every shared location accessed both through
+// sync/atomic (package calls or atomic-type methods) and through plain
+// loads or stores that may run concurrently with the atomic side — a mixed
+// protocol that forfeits atomicity. Copying an atomic value (s := counter)
+// is a plain read and is caught too. A plain store ordered before any
+// goroutine exists (pre-spawn initialization) stays silent.
+//
+// Diagnostics anchor at the plain access; an audited //parm:conc on the
+// plain or atomic access line suppresses the report.
+package atomicmix
+
+import (
+	"go/token"
+	"path/filepath"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/conc"
+)
+
+// Analyzer reports locations mixing sync/atomic and plain access.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "reports shared locations accessed both via sync/atomic and via plain " +
+		"loads/stores that may run concurrently; suppress with //parm:conc",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	res := conc.Analyze(pass, conc.Config{
+		Suppress: func(pos token.Pos) bool { return pass.Suppressed(pos, "conc") },
+	})
+	for _, m := range res.Mixes {
+		if !pass.Analyzable(m.Plain.Pos) || pass.Suppressed(m.Plain.Pos, "conc") || pass.Suppressed(m.Atomic.Pos, "conc") {
+			continue
+		}
+		at := pass.Fset.Position(m.Atomic.Pos)
+		pass.Reportf(m.Plain.Pos,
+			"plain %s of %s %s mixes with the atomic access at %s:%d; use sync/atomic on every access or annotate //parm:conc",
+			accessWord(m.Plain), m.Loc.Kind, m.Loc.Name,
+			filepath.Base(at.Filename), at.Line)
+	}
+	return nil
+}
+
+func accessWord(a *conc.Access) string {
+	if a.Write {
+		return "write"
+	}
+	return "read"
+}

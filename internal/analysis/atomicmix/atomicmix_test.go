@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.RunProgram(t, filepath.Join("testdata", "src"), atomicmix.Analyzer)
+}

@@ -1,0 +1,80 @@
+// Package app exercises the atomicmix analyzer: sync/atomic package calls,
+// atomic-type methods, value copies, and the pre-spawn-store exemption.
+package app
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var ops int64
+
+// MixedCounter increments plainly while a goroutine increments atomically.
+func MixedCounter() int64 {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		atomic.AddInt64(&ops, 1)
+		wg.Done()
+	}()
+	ops++ // want `plain write of package variable ops mixes with the atomic access`
+	wg.Wait()
+	return atomic.LoadInt64(&ops)
+}
+
+var total int64
+
+// InitThenAtomic stores before any goroutine exists: ordered, silent.
+func InitThenAtomic() int64 {
+	total = 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		atomic.AddInt64(&total, 1)
+		wg.Done()
+	}()
+	wg.Wait()
+	return atomic.LoadInt64(&total)
+}
+
+// AllAtomic keeps every access atomic: silent.
+func AllAtomic() int64 {
+	var n atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		n.Add(1)
+		close(done)
+	}()
+	v := n.Load()
+	<-done
+	return v
+}
+
+var hits atomic.Int64
+
+// CopyMix copies the atomic value while an Add is in flight: the copy is a
+// plain read of the whole word.
+func CopyMix() int64 {
+	done := make(chan struct{})
+	go func() {
+		hits.Add(1)
+		close(done)
+	}()
+	snap := hits // want `plain read of package variable hits mixes with the atomic access`
+	<-done
+	return snap.Load()
+}
+
+var flags uint32
+
+// SuppressedMix carries an audited annotation on the plain access.
+func SuppressedMix() uint32 {
+	done := make(chan struct{})
+	go func() {
+		atomic.StoreUint32(&flags, 1)
+		close(done)
+	}()
+	f := flags //parm:conc audited: stale read tolerated, monotonic flag
+	<-done
+	return f
+}

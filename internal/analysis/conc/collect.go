@@ -1,0 +1,578 @@
+package conc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"parm/internal/analysis/callgraph"
+	"parm/internal/analysis/cfg"
+)
+
+// recKey identifies one access record: the shared location and the source
+// position of the access site.
+type recKey struct {
+	loc token.Pos
+	pos token.Pos
+}
+
+// summary is one function's interprocedural access behavior: every shared
+// access it or its (synchronous) callees perform, with merged locksets,
+// contexts, and lexicographically minimal witness paths.
+type summary map[recKey]*Access
+
+// solveSummaries runs the local extraction pass over every unit, then
+// propagates callee summaries into callers until fixpoint. Locksets only
+// shrink (intersection), contexts only grow (union), and witness paths only
+// lex-decrease, so iteration terminates; the cap is a defensive backstop.
+func (e *engine) solveSummaries() {
+	for _, u := range e.unitList {
+		u.replay()
+	}
+	for iter := 0; iter < 64; iter++ {
+		e.changed = false
+		for _, u := range e.unitList {
+			dst := e.sums[u.node]
+			for _, sn := range u.snaps {
+				for _, callee := range sn.callees {
+					src := e.sums[callee]
+					for key, acc := range src {
+						e.mergeInto(dst, key, acc, sn.locks, sn.live, u.name)
+					}
+				}
+			}
+		}
+		if !e.changed {
+			break
+		}
+	}
+}
+
+// mergeInto folds one access record into a summary, optionally adding
+// call-site locks and contexts and prefixing the witness path.
+func (e *engine) mergeInto(dst summary, key recKey, src *Access, extraLocks lockset, extraCtx ctxSet, pathHead string) {
+	candLocks := src.Locks.union(extraLocks)
+	candPath := src.Path
+	if pathHead != "" {
+		candPath = append([]string{pathHead}, src.Path...)
+	}
+	ex := dst[key]
+	if ex == nil {
+		cc := make(ctxSet, len(src.ctx)+len(extraCtx))
+		for k := range src.ctx {
+			cc[k] = true
+		}
+		for k := range extraCtx {
+			cc[k] = true
+		}
+		dst[key] = &Access{
+			Loc: src.Loc, Pos: src.Pos,
+			Write: src.Write, Atomic: src.Atomic, Sharded: src.Sharded,
+			Locks: candLocks.clone(),
+			Path:  append([]string(nil), candPath...),
+			ctx:   cc,
+		}
+		e.changed = true
+		return
+	}
+	if inter, shrunk := ex.Locks.intersect(candLocks); shrunk {
+		ex.Locks = inter
+		e.changed = true
+	}
+	for k := range src.ctx {
+		if !ex.ctx[k] {
+			ex.ctx[k] = true
+			e.changed = true
+		}
+	}
+	for k := range extraCtx {
+		if !ex.ctx[k] {
+			ex.ctx[k] = true
+			e.changed = true
+		}
+	}
+	if lessPath(candPath, ex.Path) {
+		ex.Path = append([]string(nil), candPath...)
+		e.changed = true
+	}
+}
+
+// lessPath orders witness call chains: shorter first, then lexicographic.
+func lessPath(a, b []string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// collect gathers the program's access records at the execution roots —
+// functions nothing in the program calls synchronously, plus every spawn
+// target (a goroutine entry runs without its spawner's locks) — and merges
+// them into one deterministic list.
+func (e *engine) collect() []*Access {
+	global := make(summary)
+	for _, u := range e.unitList {
+		if !e.isRoot(u.node) {
+			continue
+		}
+		for key, acc := range e.sums[u.node] {
+			e.mergeInto(global, key, acc, nil, nil, "")
+		}
+	}
+	out := make([]*Access, 0, len(global))
+	for _, acc := range global {
+		out = append(out, acc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loc.Pos != out[j].Loc.Pos {
+			return out[i].Loc.Pos < out[j].Loc.Pos
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// isRoot reports whether records are collected directly from n's summary.
+// Non-spawned literals are excluded: their records are lifted into the
+// creator at the creation point, where the creator's locks apply.
+func (e *engine) isRoot(n *callgraph.Node) bool {
+	if len(e.spawnTargets[n]) > 0 {
+		return true
+	}
+	if n.Lit != nil {
+		return false
+	}
+	for _, edge := range n.In {
+		if edge.Kind == callgraph.Static || edge.Kind == callgraph.Interface {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- local extraction (phase A) ----
+
+// replay walks every block from its dataflow fixpoint inputs, extracting
+// shared accesses and lift snapshots with the lockset and live-spawn state
+// current at each statement.
+func (u *unit) replay() {
+	u.gorCtx = make(ctxSet, len(u.e.gctx[u.node]))
+	for s := range u.e.gctx[u.node] {
+		u.gorCtx[ctxKey{site: s, spawner: false}] = true
+	}
+	for _, b := range u.g.Blocks {
+		u.curLocks = u.locksIn[b].Clone()
+		u.curLive = u.liveIn[b].Clone()
+		for _, n := range b.Nodes {
+			u.extract(n)
+			u.lockStep(n, u.curLocks)
+			u.liveStep(n, u.curLive)
+		}
+	}
+}
+
+// extract dispatches one block node to the access walker.
+func (u *unit) extract(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			u.readExpr(r)
+		}
+		for _, l := range n.Lhs {
+			u.lval(l, true, false, false)
+		}
+	case *ast.IncDecStmt:
+		u.lval(n.X, true, false, false)
+	case *ast.SendStmt:
+		u.readExpr(n.Value)
+		u.readExpr(n.Chan)
+	case *ast.ExprStmt:
+		u.readExpr(n.X)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			u.readExpr(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						u.readExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		u.callOperands(n.Call)
+	case *ast.DeferStmt:
+		// Argument and receiver expressions evaluate now; the call itself
+		// runs at exit and is deliberately not lifted (unknown lock state).
+		u.callOperands(n.Call)
+	case *ast.RangeStmt:
+		// X lives in the predecessor block as its own node; only the
+		// per-iteration bindings matter here.
+		if n.Tok == token.ASSIGN {
+			u.lval(n.Key, true, false, false)
+			u.lval(n.Value, true, false, false)
+		}
+	case *ast.SelectStmt, *ast.BranchStmt:
+		// Comm statements and case bodies live in their own blocks.
+	default:
+		if expr, ok := n.(ast.Expr); ok {
+			u.readExpr(expr)
+		}
+	}
+}
+
+// callOperands reads a go/defer call's operands — evaluated by the current
+// goroutine at the statement — without lifting the call.
+func (u *unit) callOperands(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		u.readExpr(sel.X)
+	}
+	for _, a := range call.Args {
+		u.readExpr(a)
+	}
+}
+
+// lval records an access through an lvalue-shaped expression path.
+func (u *unit) lval(e ast.Expr, write, sharded, atomic bool) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		u.emitIdent(x, write, sharded, atomic)
+	case *ast.SelectorExpr:
+		if ts, ok := u.info.Selections[x]; ok && ts.Kind() == types.FieldVal {
+			u.emitField(ts, x, write, sharded, atomic)
+			u.readExpr(x.X)
+			return
+		}
+		if v, ok := u.info.Uses[x.Sel].(*types.Var); ok {
+			u.emitVar(v, x.Sel.Pos(), write, sharded, atomic)
+		}
+	case *ast.IndexExpr:
+		u.readExpr(x.Index)
+		u.lval(x.X, write, sharded || u.localIndex(x.Index), atomic)
+	case *ast.StarExpr:
+		u.lval(x.X, write, sharded, atomic)
+	default:
+		u.readExpr(e)
+	}
+}
+
+// readExpr walks one expression for shared reads, call lifts, and literal
+// creations.
+func (u *unit) readExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		u.emitIdent(x, false, false, false)
+	case *ast.SelectorExpr:
+		if ts, ok := u.info.Selections[x]; ok {
+			switch ts.Kind() {
+			case types.FieldVal:
+				u.emitField(ts, x, false, false, false)
+			}
+			u.readExpr(x.X)
+			return
+		}
+		if v, ok := u.info.Uses[x.Sel].(*types.Var); ok {
+			u.emitVar(v, x.Sel.Pos(), false, false, false)
+		}
+	case *ast.CallExpr:
+		u.call(x)
+	case *ast.IndexExpr:
+		u.readExpr(x.Index)
+		u.lval(x.X, false, u.localIndex(x.Index), false)
+	case *ast.StarExpr:
+		u.lval(x.X, false, false, false)
+	case *ast.UnaryExpr:
+		u.readExpr(x.X)
+	case *ast.BinaryExpr:
+		u.readExpr(x.X)
+		u.readExpr(x.Y)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				u.readExpr(kv.Key)
+				u.readExpr(kv.Value)
+				continue
+			}
+			u.readExpr(elt)
+		}
+	case *ast.TypeAssertExpr:
+		u.readExpr(x.X)
+	case *ast.SliceExpr:
+		u.readExpr(x.X)
+		u.readExpr(x.Low)
+		u.readExpr(x.High)
+		u.readExpr(x.Max)
+	case *ast.IndexListExpr:
+		u.readExpr(x.X)
+	case *ast.FuncLit:
+		u.litSnap(x)
+	}
+}
+
+// localIndex reports whether every variable an index expression reads is
+// local to this function — the element-disjoint fan-out assumption
+// (results[j] with per-goroutine j, results[s*trials+t] on the aggregation
+// side). A constant index has no local variable and is not sharded.
+func (u *unit) localIndex(index ast.Expr) bool {
+	var lo, hi token.Pos
+	if u.node.Lit != nil {
+		lo, hi = u.node.Lit.Pos(), u.node.Lit.End()
+	} else if u.node.Decl != nil {
+		lo, hi = u.node.Decl.Pos(), u.node.Decl.End()
+	} else {
+		return false
+	}
+	found, local := false, true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := u.info.Uses[id]
+		if obj == nil {
+			obj = u.info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if isPkgLevel(v) || v.Pos() < lo || v.Pos() >= hi {
+			local = false
+			return true
+		}
+		found = true
+		return true
+	})
+	return found && local
+}
+
+// call interprets one synchronous call: sync/atomic operations become
+// atomic accesses, everything else reads its operands and records a lift
+// snapshot for program callees.
+func (u *unit) call(x *ast.CallExpr) {
+	if fn := staticCalleeFn(u.info, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+		if recvOf(fn) == nil {
+			// Package function: atomic.AddInt64(&x, 1).
+			if len(x.Args) > 0 {
+				target := ast.Unparen(x.Args[0])
+				if un, ok := target.(*ast.UnaryExpr); ok && un.Op == token.AND {
+					target = un.X
+				}
+				u.lval(target, atomicWrites(fn.Name()), false, true)
+				for _, a := range x.Args[1:] {
+					u.readExpr(a)
+				}
+				return
+			}
+		} else if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			// Method on an atomic type: next.Add(1).
+			u.lval(sel.X, atomicWrites(fn.Name()), false, true)
+			for _, a := range x.Args {
+				u.readExpr(a)
+			}
+			return
+		}
+	}
+	u.readExpr(x.Fun)
+	for _, a := range x.Args {
+		u.readExpr(a)
+	}
+	callees := u.e.g.CalleesAt(x)
+	if len(callees) > 0 && !u.goCalls[x] {
+		u.snaps = append(u.snaps, snap{
+			site:    x,
+			callees: callees,
+			locks:   locksetOf(u.curLocks),
+			live:    u.spawnerCtx(),
+		})
+	}
+}
+
+// atomicWrites reports whether a sync/atomic operation name stores.
+func atomicWrites(name string) bool {
+	return !strings.HasPrefix(name, "Load")
+}
+
+// litSnap records a non-spawned literal creation: its body is assumed to
+// run where it is created, under the current locks and live contexts.
+func (u *unit) litSnap(lit *ast.FuncLit) {
+	t := u.e.g.NodeOfLit(lit)
+	if t == nil || len(u.e.spawnTargets[t]) > 0 {
+		return
+	}
+	u.snaps = append(u.snaps, snap{
+		site:    lit,
+		callees: []*callgraph.Node{t},
+		locks:   locksetOf(u.curLocks),
+		live:    u.spawnerCtx(),
+	})
+}
+
+// emitIdent resolves one identifier access.
+func (u *unit) emitIdent(id *ast.Ident, write, sharded, atomic bool) {
+	obj := u.info.Uses[id]
+	if obj == nil {
+		obj = u.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	u.emitVar(v, id.Pos(), write, sharded, atomic)
+}
+
+// emitVar records an access to a variable when it is a shared location:
+// captured, spawn-aliased, or a program package-level variable.
+func (u *unit) emitVar(v *types.Var, pos token.Pos, write, sharded, atomic bool) {
+	if loc := u.e.varLoc[v.Pos()]; loc != nil {
+		u.record(loc, pos, write, atomic, sharded)
+		return
+	}
+	if loc := u.e.alias[v.Pos()]; loc != nil {
+		u.record(loc, pos, write, atomic, sharded)
+		return
+	}
+	if u.e.progPkgVar(v) && trackableType(v.Type()) {
+		u.record(u.e.locAt(PkgVar, v.Pos(), v.Name()), pos, write, atomic, sharded)
+	}
+}
+
+// emitField records a field access when the base value is shared: the root
+// escaped into a goroutine, is itself a shared variable, or is a program
+// package-level variable.
+func (u *unit) emitField(ts *types.Selection, x *ast.SelectorExpr, write, sharded, atomic bool) {
+	fv, ok := ts.Obj().(*types.Var)
+	if !ok || !trackableType(fv.Type()) {
+		return
+	}
+	root := refRoot(u.info, x.X)
+	if !u.sharedRoot(root) {
+		return
+	}
+	name := typeDisplay(ts.Recv()) + "." + fv.Name()
+	u.record(u.e.locAt(Field, fv.Pos(), name), x.Sel.Pos(), write, atomic, sharded)
+}
+
+// sharedRoot reports whether storage reached through obj is shared.
+func (u *unit) sharedRoot(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if u.e.escRoot[obj.Pos()] || u.e.varLoc[obj.Pos()] != nil || u.e.alias[obj.Pos()] != nil {
+		return true
+	}
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && u.e.progPkgVar(v)
+}
+
+// record merges one access into the unit's summary.
+func (u *unit) record(loc *Loc, pos token.Pos, write, atomic, sharded bool) {
+	if loc == nil || !pos.IsValid() {
+		return
+	}
+	if sup := u.e.cfg.Suppress; sup != nil && (sup(pos) || sup(loc.Pos)) {
+		return
+	}
+	key := recKey{loc: loc.Pos, pos: pos}
+	sum := u.e.sums[u.node]
+	acc := sum[key]
+	if acc == nil {
+		sum[key] = &Access{
+			Loc: loc, Pos: pos,
+			Write: write, Atomic: atomic, Sharded: sharded,
+			Locks: locksetOf(u.curLocks),
+			Path:  []string{u.name},
+			ctx:   u.ctxNow(),
+		}
+		return
+	}
+	acc.Write = acc.Write || write
+	acc.Atomic = acc.Atomic || atomic
+	acc.Sharded = acc.Sharded && sharded
+	if inter, shrunk := acc.Locks.intersect(locksetOf(u.curLocks)); shrunk {
+		acc.Locks = inter
+	}
+	for k := range u.ctxNow() {
+		acc.ctx[k] = true
+	}
+}
+
+// spawnerCtx converts the current live-spawn facts to spawner contexts.
+func (u *unit) spawnerCtx() ctxSet {
+	out := make(ctxSet, len(u.curLive))
+	for s := range u.curLive {
+		out[ctxKey{site: s, spawner: true}] = true
+	}
+	return out
+}
+
+// ctxNow is the full context set of an access at the current point.
+func (u *unit) ctxNow() ctxSet {
+	out := u.spawnerCtx()
+	for k := range u.gorCtx {
+		out[k] = true
+	}
+	return out
+}
+
+// locksetOf converts lock facts to a stored lockset.
+func locksetOf(facts cfg.Facts[lockTok]) lockset {
+	out := make(lockset, len(facts))
+	for k := range facts {
+		out[k] = true
+	}
+	return out
+}
+
+// staticCalleeFn resolves a syntactically direct callee, or nil.
+func staticCalleeFn(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvOf returns fn's receiver, or nil.
+func recvOf(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// typeDisplay renders a receiver type's bare name for location display.
+func typeDisplay(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,402 @@
+// Package conc is a whole-program static concurrency engine over the
+// callgraph layer: it proves (over-approximately) which shared-state
+// accesses of the program may execute concurrently and which locks guard
+// them, feeding the racecheck and atomicmix analyzers.
+//
+// The engine runs four passes:
+//
+//  1. Spawn analysis finds every goroutine creation point: `go` statements
+//     (function literals and declared functions) and spawn wrappers —
+//     functions that `go`-call one of their own func-typed parameters, so a
+//     call of the wrapper spawns its argument. Each spawn site records the
+//     join primitives that can retire it: the sync.WaitGroups its body
+//     calls Done on, and the channels its body sends on (a `<-done` style
+//     join receive).
+//
+//  2. Escape analysis decides which storage is shared. Package-level
+//     variables of the loaded program always are. A variable captured by a
+//     spawned closure is shared between the spawner and its goroutines. A
+//     pointer-like value (pointer, slice, map) captured by or passed into a
+//     spawned function makes the *fields* reachable through it shared;
+//     escape marks propagate through call arguments and assignments to a
+//     fixpoint, mirroring the taint engine's summary machinery (a callee
+//     parameter fed an escaped root is itself an escaped root everywhere).
+//
+//  3. A summary-based lockset analysis runs over every function body on the
+//     cfg.ForwardMust fixpoint: Lock/RLock gen a (lock, mode) fact,
+//     Unlock/RUnlock kill it, facts intersect at joins (a lock guards an
+//     access only when it is held on every path). Each function's summary
+//     lists the shared accesses it or its callees perform, each with the
+//     intersection of the locksets over all call chains reaching it and a
+//     lexicographically minimal witness path. Accesses in a goroutine are
+//     the spawn target's summary; accesses on the spawning side are
+//     collected flow-sensitively in the region where a spawn is live —
+//     after the `go` statement and before the matching WaitGroup.Wait or
+//     join receive kills it (the happens-before edges modeled).
+//
+//  4. Pairing: two accesses to the same location conflict when at least one
+//     writes, their contexts can overlap (different spawn sites; the same
+//     site spawned in a loop or itself reachable from another spawn; or a
+//     goroutine against its spawner's live region), and no common lock
+//     synchronizes them — a shared RWMutex held in read mode on both sides
+//     does not. Indexed accesses whose index is function-local on both
+//     sides (results[j] with j a per-goroutine variable) are assumed
+//     element-disjoint — the repository's sanctioned fan-out idiom — and do
+//     not conflict with each other.
+//
+// Known, deliberate unsoundness (DESIGN.md §7.5): ad-hoc channel protocols
+// other than a join receive are not happens-before edges; calls through
+// plain func-typed variables are unresolved, so their bodies' accesses are
+// attributed to the enclosing function; values flowing through sync.Pool or
+// interface conversions lose their escape marks; accesses outside any
+// spawning function or goroutine are treated as ordered; element-disjoint
+// indexing is assumed, not proved. The //parm:conc escape hatch and the
+// dynamic -race tests cover the remainder.
+package conc
+
+import (
+	"go/token"
+	"sort"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/callgraph"
+)
+
+// LocKind classifies a shared location.
+type LocKind int
+
+const (
+	// PkgVar is a package-level variable of a loaded program package.
+	PkgVar LocKind = iota
+	// Captured is a function-local variable captured by a spawned closure.
+	Captured
+	// Field is a struct field reached through a value that escaped into a
+	// goroutine (field-based: instances are conflated).
+	Field
+)
+
+// String names the kind for diagnostics.
+func (k LocKind) String() string {
+	switch k {
+	case PkgVar:
+		return "package variable"
+	case Captured:
+		return "captured variable"
+	default:
+		return "field"
+	}
+}
+
+// Loc is one shared storage location, canonical per declaration position.
+type Loc struct {
+	Kind LocKind
+	// Pos is the declaration position of the variable or field.
+	Pos token.Pos
+	// Name is the display name, e.g. "results" or "Worker.sum".
+	Name string
+
+	// sites are the spawn sites that share this location (the sites whose
+	// goroutines capture or receive it). Captured locations are
+	// per-invocation storage of their declaring function: a context from an
+	// unrelated site means another *instance* of that function, which has
+	// its own variable, so pairing considers only these sites. nil means no
+	// filtering (package variables are one instance program-wide).
+	sites map[*spawnSite]bool
+}
+
+// addSite marks one spawn site as sharing the location.
+func (l *Loc) addSite(s *spawnSite) {
+	if l.sites == nil {
+		l.sites = make(map[*spawnSite]bool)
+	}
+	l.sites[s] = true
+}
+
+// filterCtx drops contexts from sites that do not share the location.
+func (l *Loc) filterCtx(c ctxSet) ctxSet {
+	if l.sites == nil {
+		return c
+	}
+	out := make(ctxSet, len(c))
+	for k := range c {
+		if l.sites[k.site] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Mode is how a lock is held.
+type Mode int
+
+const (
+	// WriteLock is Mutex.Lock or RWMutex.Lock.
+	WriteLock Mode = iota
+	// ReadLock is RWMutex.RLock.
+	ReadLock
+)
+
+// lockTok is one held-lock fact: the lock's identity (declaration position
+// of the mutex variable or field, so instances and type-check runs unify)
+// plus the hold mode.
+type lockTok struct {
+	pos  token.Pos
+	mode Mode
+}
+
+// lockset is a small set of held locks.
+type lockset map[lockTok]bool
+
+func (s lockset) clone() lockset {
+	out := make(lockset, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// union returns s ∪ t without mutating either.
+func (s lockset) union(t lockset) lockset {
+	if len(t) == 0 {
+		return s
+	}
+	out := s.clone()
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect returns s ∩ t, reporting whether the result is smaller than s.
+func (s lockset) intersect(t lockset) (lockset, bool) {
+	out := make(lockset, len(s))
+	shrunk := false
+	for k := range s {
+		if t[k] {
+			out[k] = true
+		} else {
+			shrunk = true
+		}
+	}
+	return out, shrunk
+}
+
+// synchronized reports whether a common lock orders two accesses: a shared
+// lock synchronizes unless both sides hold it only in read mode.
+func synchronized(a, b lockset) bool {
+	for ta := range a {
+		for tb := range b {
+			if ta.pos != tb.pos {
+				continue
+			}
+			if ta.mode == WriteLock || tb.mode == WriteLock {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxKey is one concurrency context of an access: the spawn site it may run
+// under, on the goroutine side (Spawner false) or on the spawning
+// goroutine while the site is live (Spawner true).
+type ctxKey struct {
+	site    *spawnSite
+	spawner bool
+}
+
+// ctxSet is the set of contexts an access may execute in.
+type ctxSet map[ctxKey]bool
+
+// Access is one shared-location access site.
+type Access struct {
+	Loc *Loc
+	Pos token.Pos
+	// Write is a store (or read-modify-write); false is a plain load.
+	Write bool
+	// Atomic marks sync/atomic operations (calls or atomic-type methods).
+	Atomic bool
+	// Sharded marks indexed accesses whose index is local to the accessing
+	// function: container[j] with per-goroutine j, assumed element-disjoint.
+	Sharded bool
+	// Locks is the intersection of the locksets over every call chain that
+	// reaches the access.
+	Locks lockset
+	// Path is the lexicographically minimal call chain from a context root
+	// (spawn target or spawning function) to the access, function names
+	// inclusive.
+	Path []string
+
+	ctx ctxSet
+}
+
+// Race is one conflicting pair on a location: the lexicographically
+// minimal two-site witness among the location's conflicting pairs.
+type Race struct {
+	Loc *Loc
+	// First and Second are the witness accesses, position-ordered.
+	First, Second *Access
+}
+
+// Mix is one location accessed both atomically and by plain loads/stores.
+type Mix struct {
+	Loc *Loc
+	// Plain is the minimal concurrently-reachable non-atomic access.
+	Plain *Access
+	// Atomic is the minimal atomic access.
+	Atomic *Access
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Suppress drops accesses at audited positions (//parm:conc).
+	Suppress func(token.Pos) bool
+}
+
+// Result is the outcome of one whole-program run.
+type Result struct {
+	// Races lists the conflicting locations, one minimal witness each,
+	// sorted by (first, second) witness position.
+	Races []Race
+	// Mixes lists atomic/plain mixed locations sorted by plain-access
+	// position.
+	Mixes []Mix
+}
+
+// Analyze builds the call graph of the program and runs the engine.
+func Analyze(pass *analysis.ProgramPass, cfg Config) *Result {
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	return AnalyzeGraph(g, cfg)
+}
+
+// AnalyzeGraph runs the engine over a prebuilt call graph.
+func AnalyzeGraph(g *callgraph.Graph, cfg Config) *Result {
+	e := newEngine(g, cfg)
+	e.findSpawns()
+	e.markEscapes()
+	e.buildUnits()
+	e.solveSummaries()
+	return pair(e.collect())
+}
+
+// pair groups accesses by location and extracts race and mix witnesses.
+func pair(accesses []*Access) *Result {
+	byLoc := make(map[*Loc][]*Access)
+	var locOrder []*Loc
+	for _, a := range accesses {
+		if _, ok := byLoc[a.Loc]; !ok {
+			locOrder = append(locOrder, a.Loc)
+		}
+		byLoc[a.Loc] = append(byLoc[a.Loc], a)
+	}
+	sort.Slice(locOrder, func(i, j int) bool { return locOrder[i].Pos < locOrder[j].Pos })
+
+	res := &Result{}
+	for _, loc := range locOrder {
+		as := byLoc[loc]
+		sort.Slice(as, func(i, j int) bool {
+			if as[i].Pos != as[j].Pos {
+				return as[i].Pos < as[j].Pos
+			}
+			// A write at the same position (x += 1 reads and writes) wins so
+			// witnesses prefer the stronger conflict.
+			return as[i].Write && !as[j].Write
+		})
+		if r, ok := minimalRace(loc, as); ok {
+			res.Races = append(res.Races, r)
+		}
+		if m, ok := minimalMix(loc, as); ok {
+			res.Mixes = append(res.Mixes, m)
+		}
+	}
+	sort.Slice(res.Races, func(i, j int) bool {
+		if res.Races[i].First.Pos != res.Races[j].First.Pos {
+			return res.Races[i].First.Pos < res.Races[j].First.Pos
+		}
+		return res.Races[i].Second.Pos < res.Races[j].Second.Pos
+	})
+	sort.Slice(res.Mixes, func(i, j int) bool {
+		return res.Mixes[i].Plain.Pos < res.Mixes[j].Plain.Pos
+	})
+	return res
+}
+
+// minimalRace scans the position-sorted accesses of one location for the
+// lexicographically minimal conflicting pair.
+func minimalRace(loc *Loc, as []*Access) (Race, bool) {
+	for i := 0; i < len(as); i++ {
+		for j := i; j < len(as); j++ {
+			if conflicts(as[i], as[j]) {
+				return Race{Loc: loc, First: as[i], Second: as[j]}, true
+			}
+		}
+	}
+	return Race{}, false
+}
+
+// conflicts reports whether two accesses (possibly the same site) race.
+func conflicts(a, b *Access) bool {
+	if !a.Write && !b.Write {
+		return false
+	}
+	if a.Atomic || b.Atomic {
+		// atomic/atomic is synchronized; atomic/plain is atomicmix's report.
+		return false
+	}
+	if a.Sharded && b.Sharded {
+		// Both sides index with a function-local variable: the sanctioned
+		// element-disjoint fan-out (results[j] per worker).
+		return false
+	}
+	if !concurrent(a.Loc.filterCtx(a.ctx), b.Loc.filterCtx(b.ctx)) {
+		return false
+	}
+	return !synchronized(a.Locks, b.Locks)
+}
+
+// concurrent reports whether two context sets can overlap in time. Spawner
+// contexts only express concurrency against their own site's goroutines:
+// two spawner-side accesses are serial code and stay ordered, and an access
+// in some other function's live region is ordered against an unrelated
+// goroutine unless goroutine reachability tagged it too.
+func concurrent(a, b ctxSet) bool {
+	for ka := range a {
+		for kb := range b {
+			switch {
+			case !ka.spawner && !kb.spawner:
+				// goroutine vs goroutine: different sites overlap; one site
+				// overlaps itself only when several instances can be in
+				// flight (spawned in a loop, or the spawner is itself a
+				// goroutine).
+				if ka.site != kb.site || ka.site.multi {
+					return true
+				}
+			case ka.site == kb.site && ka.spawner != kb.spawner:
+				// A goroutine against its own spawner's live region.
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// minimalMix scans for the minimal (plain, atomic) witness: a location
+// accessed atomically and, concurrently with that, by a plain load or store
+// (one side writing). A plain store before any goroutine exists (pre-spawn
+// initialization) is ordered and stays silent.
+func minimalMix(loc *Loc, as []*Access) (Mix, bool) {
+	for _, p := range as {
+		if p.Atomic {
+			continue
+		}
+		for _, at := range as {
+			if !at.Atomic || (!p.Write && !at.Write) {
+				continue
+			}
+			if concurrent(loc.filterCtx(p.ctx), loc.filterCtx(at.ctx)) {
+				return Mix{Loc: loc, Plain: p, Atomic: at}, true
+			}
+		}
+	}
+	return Mix{}, false
+}

@@ -1,0 +1,104 @@
+package conc
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/callgraph"
+)
+
+func analyzeLab(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	fset, pkgs := analysistest.LoadPackages(t, filepath.Join("testdata", "src"))
+	return AnalyzeGraph(callgraph.Build(fset, pkgs), cfg)
+}
+
+// The lab fixture holds four shared locations with one spawn site: the
+// engine must race exactly the unguarded variable, mix exactly the
+// atomic/plain one, and exempt the guarded and sharded ones.
+func TestEngineClassifiesLabAccesses(t *testing.T) {
+	res := analyzeLab(t, Config{})
+	if len(res.Races) != 1 {
+		names := make([]string, len(res.Races))
+		for i, r := range res.Races {
+			names[i] = r.Loc.Name
+		}
+		t.Fatalf("races = %d (%v), want exactly one on total", len(res.Races), names)
+	}
+	r := res.Races[0]
+	if r.Loc.Name != "total" || r.Loc.Kind != PkgVar {
+		t.Fatalf("race on %s %q, want package variable total", r.Loc.Kind, r.Loc.Name)
+	}
+	if !r.First.Write && !r.Second.Write {
+		t.Error("race witness has no write side")
+	}
+	// The minimal witness here is total++ against itself: the loop spawns
+	// several instances of the same goroutine body (site.multi).
+	if r.First.Pos > r.Second.Pos {
+		t.Error("witness accesses are not position-ordered")
+	}
+	if len(r.Second.Path) == 0 || r.Second.Path[len(r.Second.Path)-1] == "" {
+		t.Errorf("witness path %v is not a usable call chain", r.Second.Path)
+	}
+	if len(r.First.Locks) != 0 {
+		t.Errorf("racy access carries lockset %v, want empty", r.First.Locks)
+	}
+
+	if len(res.Mixes) != 1 {
+		t.Fatalf("mixes = %d, want exactly one on hits", len(res.Mixes))
+	}
+	m := res.Mixes[0]
+	if m.Loc.Name != "hits" || m.Loc.Kind != PkgVar {
+		t.Fatalf("mix on %s %q, want package variable hits", m.Loc.Kind, m.Loc.Name)
+	}
+	if m.Plain.Atomic || !m.Atomic.Atomic {
+		t.Error("mix witness sides are mislabeled")
+	}
+}
+
+// A Suppress hook that accepts every position must silence the engine
+// completely — this is the layer //parm:conc rides on.
+func TestEngineSuppressAll(t *testing.T) {
+	res := analyzeLab(t, Config{Suppress: func(token.Pos) bool { return true }})
+	if len(res.Races) != 0 || len(res.Mixes) != 0 {
+		t.Fatalf("suppressed run still reports %d race(s), %d mix(es)", len(res.Races), len(res.Mixes))
+	}
+}
+
+func lk(pos int, m Mode) lockTok { return lockTok{pos: token.Pos(pos), mode: m} }
+
+func TestSynchronized(t *testing.T) {
+	w, r := lk(10, WriteLock), lk(10, ReadLock)
+	other := lk(20, WriteLock)
+	cases := []struct {
+		name string
+		a, b lockset
+		want bool
+	}{
+		{"no common lock", lockset{w: true}, lockset{other: true}, false},
+		{"common write lock", lockset{w: true}, lockset{w: true}, true},
+		{"write vs read of same lock", lockset{w: true}, lockset{r: true}, true},
+		{"read vs read does not order", lockset{r: true}, lockset{r: true}, false},
+		{"empty side", lockset{w: true}, lockset{}, false},
+	}
+	for _, c := range cases {
+		if got := synchronized(c.a, c.b); got != c.want {
+			t.Errorf("%s: synchronized = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLocksetIntersectReportsShrink(t *testing.T) {
+	a := lockset{lk(1, WriteLock): true, lk(2, WriteLock): true}
+	b := lockset{lk(1, WriteLock): true}
+	got, shrunk := a.intersect(b)
+	if !shrunk || len(got) != 1 || !got[lk(1, WriteLock)] {
+		t.Fatalf("intersect = %v (shrunk=%v), want {1} shrunk", got, shrunk)
+	}
+	same, shrunk := a.intersect(a)
+	if shrunk || len(same) != 2 {
+		t.Fatalf("self-intersect = %v (shrunk=%v), want unchanged", same, shrunk)
+	}
+}

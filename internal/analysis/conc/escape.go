@@ -1,0 +1,270 @@
+package conc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parm/internal/analysis/callgraph"
+)
+
+// markEscapes decides which storage is shared: variables captured by
+// spawned closures, and the roots (and transitive flow) of values passed
+// into goroutines. Package-level variables need no marking — they are
+// shared by definition and resolved at access time.
+func (e *engine) markEscapes() {
+	for _, s := range e.sites {
+		for _, t := range s.targets {
+			if t.Lit != nil {
+				e.markCaptures(s, t)
+			}
+		}
+		e.markSpawnArgs(s)
+	}
+	e.propagateEscapes()
+}
+
+// markCaptures marks every variable a spawned literal references but does
+// not declare: shared between the spawner and the goroutine.
+func (e *engine) markCaptures(s *spawnSite, t *callgraph.Node) {
+	info := t.Pkg.Info
+	lo, hi := t.Lit.Pos(), t.Lit.End()
+	ast.Inspect(t.Lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || isPkgLevel(v) {
+			return true
+		}
+		if v.Pos() >= lo && v.Pos() < hi {
+			return true // declared inside the goroutine: per-instance
+		}
+		if !trackableType(v.Type()) {
+			return true
+		}
+		loc := e.locAt(Captured, v.Pos(), v.Name())
+		loc.addSite(s)
+		e.varLoc[v.Pos()] = loc
+		if refType(v.Type()) {
+			e.escRoot[v.Pos()] = true
+		}
+		return true
+	})
+}
+
+// markSpawnArgs marks the argument and receiver roots of a `go` call on the
+// spawner side, and aliases the target's parameters to them on the callee
+// side, so both sides resolve to one location.
+func (e *engine) markSpawnArgs(s *spawnSite) {
+	g, ok := s.at.(*ast.GoStmt)
+	if !ok {
+		return
+	}
+	info := s.owner.Pkg.Info
+	call := g.Call
+
+	// Receiver of `go w.Run()`.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if ts, ok := info.Selections[sel]; ok && ts.Kind() == types.MethodVal {
+			if loc := e.markArgRoot(s, info, sel.X); loc != nil {
+				for _, t := range s.targets {
+					if t.Decl != nil {
+						for _, obj := range recvObjects(t.Pkg.Info, t.Decl) {
+							e.aliasParam(obj, loc)
+						}
+					}
+				}
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || !refType(tv.Type) {
+			continue
+		}
+		loc := e.markArgRoot(s, info, arg)
+		if loc == nil {
+			continue
+		}
+		for _, t := range s.targets {
+			if t.Decl == nil {
+				continue
+			}
+			params := paramObjects(t.Pkg.Info, t.Decl)
+			if i < len(params) && params[i] != nil {
+				e.aliasParam(params[i], loc)
+			}
+		}
+	}
+}
+
+// markArgRoot marks the root variable of a value flowing into a goroutine
+// and returns its location.
+func (e *engine) markArgRoot(s *spawnSite, info *types.Info, arg ast.Expr) *Loc {
+	obj := refRoot(info, arg)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || !trackableType(v.Type()) {
+		return nil
+	}
+	e.escRoot[v.Pos()] = true
+	if isPkgLevel(v) {
+		return nil // resolved as a PkgVar at access time
+	}
+	loc := e.locAt(Captured, v.Pos(), v.Name())
+	loc.addSite(s)
+	e.varLoc[v.Pos()] = loc
+	return loc
+}
+
+// aliasParam binds a spawned function's parameter to the caller location it
+// receives, and marks its fields shared.
+func (e *engine) aliasParam(obj types.Object, loc *Loc) {
+	if obj == nil {
+		return
+	}
+	e.alias[obj.Pos()] = loc
+	e.escRoot[obj.Pos()] = true
+}
+
+// propagateEscapes spreads escape-root marks through reference-typed call
+// arguments, receivers, and local aliases until fixpoint: a callee
+// parameter bound to an escaped value is itself an escape root (its field
+// accesses are shared), and a local alias of an escaped variable shares its
+// mark.
+func (e *engine) propagateEscapes() {
+	for pass := 0; pass < 32; pass++ {
+		grew := false
+		for _, n := range e.g.Nodes {
+			body := n.Body()
+			if body == nil {
+				continue
+			}
+			info := n.Pkg.Info
+			scan := func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				switch x := x.(type) {
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						return true
+					}
+					for i := range x.Lhs {
+						src := refRoot(info, x.Rhs[i])
+						if src == nil || !e.escRoot[src.Pos()] {
+							continue
+						}
+						dst, ok := refRoot(info, x.Lhs[i]).(*types.Var)
+						if !ok || dst.IsField() || !refType(dst.Type()) {
+							continue
+						}
+						if !e.escRoot[dst.Pos()] {
+							e.escRoot[dst.Pos()] = true
+							grew = true
+						}
+					}
+				case *ast.CallExpr:
+					for _, callee := range e.g.CalleesAt(x) {
+						if callee.Decl == nil {
+							continue
+						}
+						params := paramObjects(callee.Pkg.Info, callee.Decl)
+						for i, arg := range x.Args {
+							if i >= len(params) || params[i] == nil {
+								continue
+							}
+							src := refRoot(info, arg)
+							if src == nil || !e.escRoot[src.Pos()] {
+								continue
+							}
+							if !refType(params[i].Type()) {
+								continue
+							}
+							if !e.escRoot[params[i].Pos()] {
+								e.escRoot[params[i].Pos()] = true
+								grew = true
+							}
+						}
+						if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+							if ts, ok := info.Selections[sel]; ok && ts.Kind() == types.MethodVal {
+								src := refRoot(info, sel.X)
+								if src != nil && e.escRoot[src.Pos()] {
+									for _, obj := range recvObjects(callee.Pkg.Info, callee.Decl) {
+										if obj != nil && !e.escRoot[obj.Pos()] {
+											e.escRoot[obj.Pos()] = true
+											grew = true
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+				return true
+			}
+			if n.Lit != nil {
+				ast.Inspect(n.Lit.Body, scan)
+			} else {
+				ast.Inspect(body, scan)
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+}
+
+// locAt returns the canonical location at a declaration position.
+func (e *engine) locAt(kind LocKind, pos token.Pos, name string) *Loc {
+	if l, ok := e.locs[pos]; ok {
+		return l
+	}
+	l := &Loc{Kind: kind, Pos: pos, Name: name}
+	e.locs[pos] = l
+	return l
+}
+
+// isPkgLevel reports whether v is a package-scope variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// progPkgVar reports whether v is a package-level variable of a loaded
+// program package (stdlib globals are not the lint's problem).
+func (e *engine) progPkgVar(v *types.Var) bool {
+	return isPkgLevel(v) && v.Pkg() != nil && e.progPkgs[v.Pkg().Path()]
+}
+
+// trackableType reports whether a variable of type t is worth tracking as a
+// shared location. Synchronization primitives are excluded: mutexes,
+// WaitGroups and friends are the locks themselves, and channels are
+// modeled as happens-before edges, not storage.
+func trackableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return false
+	}
+	for _, n := range [...]string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map", "Locker"} {
+		if isSyncKind(t, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// refType reports whether values of t are reference-like: sharing one
+// shares the storage reachable through it.
+func refType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Interface:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,468 @@
+package conc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parm/internal/analysis/callgraph"
+)
+
+// engine is one whole-program run.
+type engine struct {
+	g        *callgraph.Graph
+	cfg      Config
+	progPkgs map[string]bool
+
+	// sites lists every spawn site in deterministic (package, position)
+	// discovery order.
+	sites []*spawnSite
+	// spawnTargets maps a function to the sites that spawn it.
+	spawnTargets map[*callgraph.Node][]*spawnSite
+	// gctx is the goroutine-reachability context: the spawn sites each
+	// function may execute under.
+	gctx map[*callgraph.Node]map[*spawnSite]bool
+
+	// locs canonicalizes shared locations by declaration position.
+	locs map[token.Pos]*Loc
+	// varLoc maps a variable's declaration position to its shared location:
+	// captured variables and the roots of values passed into goroutines.
+	varLoc map[token.Pos]*Loc
+	// escRoot marks objects whose fields and elements are shared (the value
+	// they hold flows into a goroutine).
+	escRoot map[token.Pos]bool
+	// alias maps a spawned function's parameter to the location of the
+	// caller value it binds (go f(&x): f's p aliases x).
+	alias map[token.Pos]*Loc
+
+	units map[*callgraph.Node]*unit
+	// unitList orders units deterministically (graph node order).
+	unitList []*unit
+	sums     map[*callgraph.Node]summary
+	changed  bool
+}
+
+// spawnSite is one goroutine creation point: a `go` statement, or a call of
+// a spawn wrapper with a concrete function argument.
+type spawnSite struct {
+	// at anchors the site (the GoStmt or the wrapper CallExpr).
+	at ast.Node
+	// owner is the function containing the site.
+	owner *callgraph.Node
+	// targets are the functions the site may start.
+	targets []*callgraph.Node
+	// wgDone holds the sync.WaitGroup objects (by declaration position) the
+	// spawned body calls Done on: Wait on one is a join.
+	wgDone map[token.Pos]bool
+	// sends holds the channel objects the body sends on or closes: a
+	// receive from one is a join.
+	sends map[token.Pos]bool
+	// multi marks sites that can run more than one goroutine instance at
+	// once: the `go` sits in a loop, or the spawning function is itself
+	// goroutine-reachable.
+	multi bool
+}
+
+func newEngine(g *callgraph.Graph, cfg Config) *engine {
+	e := &engine{
+		g:            g,
+		cfg:          cfg,
+		progPkgs:     make(map[string]bool, len(g.Packages)),
+		spawnTargets: make(map[*callgraph.Node][]*spawnSite),
+		gctx:         make(map[*callgraph.Node]map[*spawnSite]bool),
+		locs:         make(map[token.Pos]*Loc),
+		varLoc:       make(map[token.Pos]*Loc),
+		escRoot:      make(map[token.Pos]bool),
+		alias:        make(map[token.Pos]*Loc),
+		units:        make(map[*callgraph.Node]*unit),
+		sums:         make(map[*callgraph.Node]summary),
+	}
+	for _, p := range g.Packages {
+		e.progPkgs[p.Path] = true
+	}
+	return e
+}
+
+// findSpawns discovers spawn sites — `go` statements and spawn-wrapper
+// calls — their targets, and their join primitives, then computes the
+// goroutine-reachability contexts.
+func (e *engine) findSpawns() {
+	// Wrapper detection first: a function that go-calls one of its own
+	// func-typed parameters spawns its argument.
+	wrappers := e.findWrappers()
+
+	for _, n := range e.g.Nodes {
+		body := n.Body()
+		if body == nil || n.Lit != nil {
+			// Literal bodies are scanned through their enclosing declaration
+			// below, so a site's owner is always the declared function whose
+			// CFG region contains it... except literals themselves spawning:
+			// those GoStmts belong to the literal's own execution.
+			continue
+		}
+		e.scanSpawns(n, body)
+	}
+	// Literals spawn too (a goroutine body that launches more goroutines).
+	for _, n := range e.g.Nodes {
+		if n.Lit != nil {
+			e.scanSpawns(n, n.Lit.Body)
+		}
+	}
+	e.applyWrapperSites(wrappers)
+
+	// Goroutine reachability: seed each target with its sites, propagate to
+	// callees over Static/Interface/Lit edges.
+	work := make([]*callgraph.Node, 0, len(e.spawnTargets))
+	for _, s := range e.sites {
+		for _, t := range s.targets {
+			if e.addGctx(t, s) {
+				work = append(work, t)
+			}
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, edge := range n.Out {
+			if edge.Kind == callgraph.Ref {
+				continue
+			}
+			grew := false
+			for s := range e.gctx[n] {
+				if e.addGctx(edge.Callee, s) {
+					grew = true
+				}
+			}
+			if grew {
+				work = append(work, edge.Callee)
+			}
+		}
+	}
+}
+
+func (e *engine) addGctx(n *callgraph.Node, s *spawnSite) bool {
+	m := e.gctx[n]
+	if m == nil {
+		m = make(map[*spawnSite]bool)
+		e.gctx[n] = m
+	}
+	if m[s] {
+		return false
+	}
+	m[s] = true
+	return true
+}
+
+// scanSpawns walks one function body for GoStmts, attributing each to
+// owner. Nested literal bodies are skipped — they are other nodes' regions.
+func (e *engine) scanSpawns(owner *callgraph.Node, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literal bodies are scanned as their own nodes; only the
+			// region directly owned by this node is walked here.
+			return false
+		case *ast.GoStmt:
+			e.addGoSite(owner, n)
+		}
+		return true
+	})
+}
+
+// addGoSite records one `go` statement as a spawn site. A dynamic go-call
+// (func-typed variable) yields no targets — no body to attribute — but the
+// site still opens a concurrent region in the spawner.
+func (e *engine) addGoSite(owner *callgraph.Node, g *ast.GoStmt) {
+	s := &spawnSite{at: g, owner: owner}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if t := e.g.NodeOfLit(fun); t != nil {
+			s.targets = append(s.targets, t)
+		}
+	default:
+		for _, t := range e.g.CalleesAt(g.Call) {
+			s.targets = append(s.targets, t)
+		}
+	}
+	e.scanJoins(s)
+	e.translateJoins(owner.Pkg.Info, s, g.Call)
+	e.sites = append(e.sites, s)
+	for _, t := range s.targets {
+		e.spawnTargets[t] = append(e.spawnTargets[t], s)
+	}
+}
+
+// translateJoins maps join primitives recorded under a declared target's
+// parameter objects (go worker(&wg, done): Done and sends name the params)
+// back to the spawner's argument roots, so the spawner's wg.Wait() or
+// <-done matches them.
+func (e *engine) translateJoins(info *types.Info, s *spawnSite, call *ast.CallExpr) {
+	for _, t := range s.targets {
+		if t.Decl == nil {
+			continue
+		}
+		params := paramObjects(t.Pkg.Info, t.Decl)
+		for i, arg := range call.Args {
+			if i >= len(params) || params[i] == nil {
+				continue
+			}
+			root := refRoot(info, arg)
+			if root == nil {
+				continue
+			}
+			if s.wgDone[params[i].Pos()] {
+				s.wgDone[root.Pos()] = true
+			}
+			if s.sends[params[i].Pos()] {
+				s.sends[root.Pos()] = true
+			}
+		}
+	}
+}
+
+// scanJoins records the WaitGroups each target calls Done on and the
+// channels it sends on or closes: the site's join primitives.
+func (e *engine) scanJoins(s *spawnSite) {
+	s.wgDone = make(map[token.Pos]bool)
+	s.sends = make(map[token.Pos]bool)
+	for _, t := range s.targets {
+		body := t.Body()
+		if body == nil {
+			continue
+		}
+		info := t.Pkg.Info
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if obj := refRoot(info, n.Chan); obj != nil {
+					s.sends[obj.Pos()] = true
+				}
+			case *ast.CallExpr:
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+						if obj := refRoot(info, n.Args[0]); obj != nil {
+							s.sends[obj.Pos()] = true
+						}
+					}
+				case *ast.SelectorExpr:
+					if fun.Sel.Name != "Done" {
+						return true
+					}
+					if tv, ok := info.Types[fun.X]; ok && isSyncKind(tv.Type, "WaitGroup") {
+						if obj := selObject(info, fun.X); obj != nil {
+							s.wgDone[obj.Pos()] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wrapper is one spawn-wrapper function: calling it go-runs the argument at
+// the given parameter indexes.
+type wrapper struct {
+	node   *callgraph.Node
+	params map[int]bool
+}
+
+// findWrappers locates functions that `go`-call one of their own func-typed
+// parameters.
+func (e *engine) findWrappers() map[*callgraph.Node]*wrapper {
+	out := make(map[*callgraph.Node]*wrapper)
+	for _, n := range e.g.Nodes {
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		params := paramObjects(info, n.Decl)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			g, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(g.Call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			for i, p := range params {
+				if p != nil && p == obj {
+					w := out[n]
+					if w == nil {
+						w = &wrapper{node: n, params: make(map[int]bool)}
+						out[n] = w
+					}
+					w.params[i] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// applyWrapperSites turns calls of spawn wrappers with concrete function
+// arguments into spawn sites at the call.
+func (e *engine) applyWrapperSites(wrappers map[*callgraph.Node]*wrapper) {
+	if len(wrappers) == 0 {
+		return
+	}
+	for _, caller := range e.g.Nodes {
+		body := caller.Body()
+		if body == nil {
+			continue
+		}
+		info := caller.Pkg.Info
+		scan := func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && (caller.Lit == nil || lit != caller.Lit) {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range e.g.CalleesAt(call) {
+				w := wrappers[callee]
+				if w == nil {
+					continue
+				}
+				// Receiver-bearing callees shift the parameter index by one
+				// relative to call.Args; wrapper params are decl params only,
+				// so args index directly for functions and methods alike.
+				s := &spawnSite{at: call, owner: caller}
+				for i := range w.params {
+					argIdx := i
+					if callee.Decl != nil && callee.Decl.Recv != nil {
+						argIdx = i - len(recvObjects(info, callee.Decl))
+					}
+					if argIdx < 0 || argIdx >= len(call.Args) {
+						continue
+					}
+					switch arg := ast.Unparen(call.Args[argIdx]).(type) {
+					case *ast.FuncLit:
+						if t := e.g.NodeOfLit(arg); t != nil {
+							s.targets = append(s.targets, t)
+						}
+					case *ast.Ident:
+						if fn, ok := info.Uses[arg].(*types.Func); ok {
+							if t := e.g.NodeOf(fn); t != nil {
+								s.targets = append(s.targets, t)
+							}
+						}
+					}
+				}
+				if len(s.targets) > 0 {
+					e.scanJoins(s)
+					e.sites = append(e.sites, s)
+					for _, t := range s.targets {
+						e.spawnTargets[t] = append(e.spawnTargets[t], s)
+					}
+				}
+			}
+			return true
+		}
+		if caller.Lit != nil {
+			ast.Inspect(caller.Lit.Body, scan)
+		} else {
+			ast.Inspect(body, scan)
+		}
+	}
+}
+
+// paramObjects lists a declaration's receiver-then-parameter objects in
+// order, receivers first (matching summary parameter indexing); here only
+// the declared parameters are returned, receiver excluded.
+func paramObjects(info *types.Info, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				out = append(out, info.Defs[name])
+			}
+		}
+	}
+	return out
+}
+
+// recvObjects lists a declaration's receiver objects (zero or one).
+func recvObjects(info *types.Info, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			for _, name := range f.Names {
+				out = append(out, info.Defs[name])
+			}
+		}
+	}
+	return out
+}
+
+// refRoot resolves the base object of an expression, stripping wrappers.
+func refRoot(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selObject resolves a selector-or-ident lock/waitgroup expression to its
+// identifying object: the variable for `wg`, the field for `c.wg`.
+func selObject(info *types.Info, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			return s.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.UnaryExpr:
+		return selObject(info, x.X)
+	case *ast.StarExpr:
+		return selObject(info, x.X)
+	}
+	return nil
+}
+
+// isSyncKind reports whether t (or *t) is sync.<name>.
+func isSyncKind(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,42 @@
+// Package lab is the engine-level fixture: one spawn site exercising every
+// access classification the conc engine distinguishes — a racy package
+// variable, a mutex-guarded one, an atomic/plain mix, and a sharded slice.
+package lab
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	total   int   // written by goroutines and read by the spawner: racy
+	guarded int   // every access under mu: clean
+	hits    int64 // atomic in goroutines, plain read while live: mixed
+	mu      sync.Mutex
+)
+
+// Spawn fans out four workers and touches every shared location from both
+// sides of the spawn.
+func Spawn() []int {
+	var wg sync.WaitGroup
+	shard := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total++
+			atomic.AddInt64(&hits, 1)
+			mu.Lock()
+			guarded++
+			mu.Unlock()
+			shard[i] = i
+		}(i)
+	}
+	sink := total // read while the workers are live
+	sink += int(hits)
+	wg.Wait()
+	mu.Lock()
+	sink += guarded
+	mu.Unlock()
+	return append(shard, sink)
+}

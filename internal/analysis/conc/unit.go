@@ -1,0 +1,305 @@
+package conc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parm/internal/analysis/callgraph"
+	"parm/internal/analysis/cfg"
+)
+
+// unit is one function body under analysis — a declared function or a
+// function literal. Unlike the taint engine, literals get their own units:
+// a literal's body may run on another goroutine, so it must not share the
+// creator's lockset or live-spawn state.
+type unit struct {
+	e    *engine
+	node *callgraph.Node
+	info *types.Info
+	name string
+
+	g     *cfg.Graph
+	loops map[*cfg.Block]bool
+	// locksIn is the must-held lockset at each block entry.
+	locksIn map[*cfg.Block]cfg.Facts[lockTok]
+	// liveIn is the may-live spawn-site set at each block entry: goroutines
+	// started and not yet joined.
+	liveIn map[*cfg.Block]cfg.Facts[*spawnSite]
+	// goCalls are call expressions run via `go`: never lifted as
+	// synchronous calls.
+	goCalls map[*ast.CallExpr]bool
+	// snaps records the lockset and live contexts at every synchronous call
+	// site and literal creation, in replay order, for summary lifting.
+	snaps []snap
+
+	// Replay cursor state (phase A): the lockset and live-spawn facts at the
+	// statement being extracted, and the unit's goroutine contexts.
+	curLocks cfg.Facts[lockTok]
+	curLive  cfg.Facts[*spawnSite]
+	gorCtx   ctxSet
+}
+
+// snap is the engine state at one summary-lift point.
+type snap struct {
+	// site is the CallExpr (synchronous call) or FuncLit (creation).
+	site ast.Node
+	// callees are the lift targets.
+	callees []*callgraph.Node
+	locks   lockset
+	live    ctxSet
+}
+
+// buildUnits constructs a unit per bodied function and solves its two
+// dataflow fixpoints, then derives each spawn site's multiplicity.
+func (e *engine) buildUnits() {
+	// siteAt indexes sites by their anchoring statement for the transfer
+	// functions.
+	for _, n := range e.g.Nodes {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		u := &unit{
+			e:       e,
+			node:    n,
+			info:    n.Pkg.Info,
+			name:    n.Name(),
+			g:       cfg.New(body),
+			goCalls: make(map[*ast.CallExpr]bool),
+		}
+		u.loops = u.g.LoopBlocks()
+		for _, s := range e.sites {
+			if s.owner != n {
+				continue
+			}
+			if g, ok := s.at.(*ast.GoStmt); ok {
+				u.goCalls[g.Call] = true
+			}
+		}
+		u.locksIn = cfg.ForwardMust(u.g, u.lockUniverse(), u.lockTransfer)
+		u.liveIn = cfg.Forward(u.g, u.liveTransfer)
+		e.units[n] = u
+		e.unitList = append(e.unitList, u)
+		e.sums[n] = make(summary)
+	}
+	e.setMulti()
+}
+
+// setMulti marks spawn sites that can have several goroutine instances in
+// flight at once: the spawn statement sits on a control-flow cycle, or the
+// spawning function itself runs under a goroutine.
+func (e *engine) setMulti() {
+	for _, s := range e.sites {
+		if len(e.gctx[s.owner]) > 0 {
+			s.multi = true
+			continue
+		}
+		u := e.units[s.owner]
+		if u == nil {
+			continue
+		}
+		pos := s.at.Pos()
+		for b := range u.loops {
+			for _, n := range b.Nodes {
+				if n.Pos() <= pos && pos < n.End() {
+					s.multi = true
+				}
+			}
+		}
+	}
+}
+
+// ---- lockset must-analysis ----
+
+// lockUniverse scans the unit's own region for every lock fact it can gen.
+func (u *unit) lockUniverse() []lockTok {
+	var out []lockTok
+	seen := make(map[lockTok]bool)
+	for _, b := range u.g.Blocks {
+		for _, n := range b.Nodes {
+			shallowInspect(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tok, op, ok := u.lockOp(call); ok && (op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock") {
+					if !seen[tok] {
+						seen[tok] = true
+						out = append(out, tok)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// lockOp classifies one call as a mutex operation, returning the lock fact
+// it gens or kills.
+func (u *unit) lockOp(call *ast.CallExpr) (lockTok, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockTok{}, "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return lockTok{}, "", false
+	}
+	tv, ok := u.info.Types[sel.X]
+	if !ok || (!isSyncKind(tv.Type, "Mutex") && !isSyncKind(tv.Type, "RWMutex")) {
+		return lockTok{}, "", false
+	}
+	obj := selObject(u.info, sel.X)
+	if obj == nil {
+		return lockTok{}, "", false
+	}
+	mode := WriteLock
+	if name == "RLock" || name == "RUnlock" || name == "TryRLock" {
+		mode = ReadLock
+	}
+	return lockTok{pos: obj.Pos(), mode: mode}, name, true
+}
+
+func (u *unit) lockTransfer(b *cfg.Block, in cfg.Facts[lockTok]) cfg.Facts[lockTok] {
+	out := in.Clone()
+	for _, n := range b.Nodes {
+		u.lockStep(n, out)
+	}
+	return out
+}
+
+// lockStep applies one statement's lock effects. Deferred unlocks run at
+// function exit, so a DeferStmt has no effect here — the lock stays held
+// for the statements that follow, which is exactly the
+// Lock-defer-Unlock-then-access idiom.
+func (u *unit) lockStep(n ast.Node, facts cfg.Facts[lockTok]) {
+	shallowInspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tok, op, ok := u.lockOp(call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			facts.Add(tok)
+		case "Unlock", "RUnlock":
+			facts.Delete(tok)
+		}
+		return true
+	})
+}
+
+// ---- live-spawn may-analysis ----
+
+func (u *unit) liveTransfer(b *cfg.Block, in cfg.Facts[*spawnSite]) cfg.Facts[*spawnSite] {
+	out := in.Clone()
+	for _, n := range b.Nodes {
+		u.liveStep(n, out)
+	}
+	return out
+}
+
+// liveStep gens spawn sites at their statements and kills them at joins:
+// Wait on a WaitGroup the goroutine body calls Done on, or a receive from
+// (or range over) a channel the body sends on.
+func (u *unit) liveStep(n ast.Node, facts cfg.Facts[*spawnSite]) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if tv, ok := u.info.Types[rs.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				u.killJoin(facts, joinRecv, refRoot(u.info, rs.X))
+			}
+		}
+	}
+	shallowInspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			if s := u.siteOf(x); s != nil {
+				facts.Add(s)
+			}
+			// The go-call's arguments are evaluated by the spawner, but hold
+			// no joins; nothing below matters for liveness.
+			return false
+		case *ast.CallExpr:
+			if s := u.siteOf(x); s != nil {
+				facts.Add(s) // spawn-wrapper call
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if tv, ok := u.info.Types[sel.X]; ok && isSyncKind(tv.Type, "WaitGroup") {
+					u.killJoin(facts, joinWait, selObject(u.info, sel.X))
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				u.killJoin(facts, joinRecv, refRoot(u.info, x.X))
+			}
+		}
+		return true
+	})
+}
+
+type joinKind int
+
+const (
+	joinWait joinKind = iota
+	joinRecv
+)
+
+// killJoin removes every live site the join retires.
+func (u *unit) killJoin(facts cfg.Facts[*spawnSite], kind joinKind, obj types.Object) {
+	if obj == nil {
+		return
+	}
+	var dead []*spawnSite
+	for s := range facts {
+		switch kind {
+		case joinWait:
+			if s.wgDone[obj.Pos()] {
+				dead = append(dead, s)
+			}
+		case joinRecv:
+			if s.sends[obj.Pos()] {
+				dead = append(dead, s)
+			}
+		}
+	}
+	for _, s := range dead {
+		facts.Delete(s)
+	}
+}
+
+// siteOf returns the spawn site anchored at n (owned by this unit), or nil.
+func (u *unit) siteOf(n ast.Node) *spawnSite {
+	for _, s := range u.e.sites {
+		if s.at == n && s.owner == u.node {
+			return s
+		}
+	}
+	return nil
+}
+
+// shallowInspect walks a block node without descending into function
+// literals (separate units, separate schedules) or deferred calls (whose
+// effects land at function exit, not here). RangeStmt roots are visited
+// shallowly, mirroring cfg.Inspect.
+func shallowInspect(n ast.Node, fn func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	cfg.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit:
+			fn(x)
+			return false
+		case *ast.DeferStmt:
+			return false
+		}
+		return fn(x)
+	})
+}

@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry is one accepted pre-existing finding class in a lint
+// baseline: Count findings with this (file, analyzer, message) are waved
+// through. File is the base name only, so the baseline is stable across
+// checkouts; line numbers are deliberately absent (they churn on every
+// unrelated edit).
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineKey identifies a finding class.
+type baselineKey struct {
+	file     string
+	analyzer string
+	message  string
+}
+
+func keyOf(f Finding) baselineKey {
+	return baselineKey{file: filepath.Base(f.Pos.Filename), analyzer: f.Analyzer, message: f.Message}
+}
+
+// LoadBaseline reads a JSON baseline file (an array of entries).
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.File == "" || e.Analyzer == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline %s: entry %d needs file, analyzer, and count >= 1", path, i)
+		}
+	}
+	return entries, nil
+}
+
+// WriteBaseline aggregates the findings into entries and writes them as a
+// sorted, indented JSON array (an empty slice writes "[]": the committed
+// clean-repo baseline).
+func WriteBaseline(path string, findings []Finding) error {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[keyOf(f)]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		entries = append(entries, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline filters findings through the baseline: for each entry, up
+// to Count matching findings are dropped. It returns the findings that
+// remain and the stale entries — entries that matched fewer findings than
+// they claim, meaning the underlying issue was fixed and the baseline must
+// be regenerated (stale entries are an error at the CLI: a baseline may
+// only shrink deliberately, never rot).
+func ApplyBaseline(findings []Finding, entries []BaselineEntry) (kept []Finding, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int, len(entries))
+	for _, e := range entries {
+		budget[baselineKey{file: e.File, analyzer: e.Analyzer, message: e.Message}] += e.Count
+	}
+	for _, f := range findings {
+		k := keyOf(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range entries {
+		k := baselineKey{file: e.File, analyzer: e.Analyzer, message: e.Message}
+		if budget[k] > 0 {
+			left := budget[k]
+			budget[k] = 0 // report a multi-entry key once
+			stale = append(stale, BaselineEntry{File: e.File, Analyzer: e.Analyzer, Message: e.Message, Count: left})
+		}
+	}
+	return kept, stale
+}

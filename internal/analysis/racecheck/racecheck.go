@@ -1,0 +1,54 @@
+// Package racecheck is the whole-program data-race lint: it runs the conc
+// engine — spawn discovery, escape analysis, summary-based locksets with
+// WaitGroup/channel happens-before joins — and reports every shared
+// location with two accesses that may run concurrently, at least one a
+// write, with no common lock ordering them. Each location gets one
+// diagnostic: the lexicographically minimal two-site witness, anchored at
+// the later access.
+//
+// An audited //parm:conc on either access line (or the location's
+// declaration line) suppresses the report.
+package racecheck
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"parm/internal/analysis"
+	"parm/internal/analysis/conc"
+)
+
+// Analyzer reports unsynchronized conflicting accesses to shared state.
+var Analyzer = &analysis.Analyzer{
+	Name: "racecheck",
+	Doc: "reports write/write and read/write access pairs on package variables, " +
+		"captured variables, and goroutine-escaped fields that may run " +
+		"concurrently with no common lock; suppress with //parm:conc",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	res := conc.Analyze(pass, conc.Config{
+		Suppress: func(pos token.Pos) bool { return pass.Suppressed(pos, "conc") },
+	})
+	for _, r := range res.Races {
+		if !pass.Analyzable(r.Second.Pos) || pass.Suppressed(r.Second.Pos, "conc") || pass.Suppressed(r.First.Pos, "conc") {
+			continue
+		}
+		first := pass.Fset.Position(r.First.Pos)
+		pass.Reportf(r.Second.Pos,
+			"unsynchronized %s of %s %s may race with the %s at %s:%d (in %s); hold one mutex on both sides, join the goroutine first, or annotate //parm:conc",
+			accessWord(r.Second), r.Loc.Kind, r.Loc.Name,
+			accessWord(r.First), filepath.Base(first.Filename), first.Line,
+			strings.Join(r.Second.Path, " -> "))
+	}
+	return nil
+}
+
+func accessWord(a *conc.Access) string {
+	if a.Write {
+		return "write"
+	}
+	return "read"
+}

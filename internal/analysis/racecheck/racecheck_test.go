@@ -1,0 +1,13 @@
+package racecheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"parm/internal/analysis/analysistest"
+	"parm/internal/analysis/racecheck"
+)
+
+func TestRacecheck(t *testing.T) {
+	analysistest.RunProgram(t, filepath.Join("testdata", "src"), racecheck.Analyzer)
+}

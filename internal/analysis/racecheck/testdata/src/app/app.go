@@ -1,0 +1,192 @@
+// Package app exercises the racecheck analyzer: captured variables,
+// package variables, lock discipline, and every join primitive.
+package app
+
+import (
+	"sync"
+
+	"app/worker"
+)
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+// CapturedRace writes a captured variable on both sides of a live spawn.
+func CapturedRace() int {
+	n := 0
+	done := make(chan bool)
+	go func() {
+		n++
+		done <- true
+	}()
+	n++ // want `unsynchronized write of captured variable n may race with the write`
+	<-done
+	return n // after the join receive: ordered, silent
+}
+
+// GuardedClean holds one mutex on both sides: no report.
+func GuardedClean() int {
+	v := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		v++
+		mu.Unlock()
+		wg.Done()
+	}()
+	mu.Lock()
+	v++
+	mu.Unlock()
+	wg.Wait()
+	return v
+}
+
+// RWOk pairs a write under Lock with a read under RLock: exclusive, silent.
+func RWOk() int {
+	c := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { rw.Lock(); c++; rw.Unlock(); wg.Done() }()
+	go func() { rw.RLock(); _ = c; rw.RUnlock(); wg.Done() }()
+	wg.Wait()
+	return c
+}
+
+// RWBad writes under RLock on both sides: two readers may hold the lock at
+// once, so the writes race.
+func RWBad() int {
+	c := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { rw.RLock(); c++; rw.RUnlock(); wg.Done() }()
+	go func() { rw.RLock(); c++; rw.RUnlock(); wg.Done() }() // want `unsynchronized write of captured variable c may race with the write`
+	wg.Wait()
+	return c
+}
+
+// JoinWindow reads in the window between the spawn and the Wait.
+func JoinWindow() int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { total++; wg.Done() }()
+	t := total // want `unsynchronized read of captured variable total may race with the write`
+	wg.Wait()
+	total++ // after Wait: ordered, silent
+	return t + total
+}
+
+// ChanJoin is clean: the close is a join, and the read follows the receive.
+func ChanJoin() int {
+	s := 0
+	done := make(chan struct{})
+	go func() {
+		s = 1
+		close(done)
+	}()
+	<-done
+	return s
+}
+
+// ShardedClean is the sanctioned fan-out idiom: every worker writes its own
+// element through a function-local index.
+func ShardedClean() []int {
+	results := make([]int, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(j int) {
+			results[j] = j * j
+			wg.Done()
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// RunAsync is a spawn wrapper: calling it go-runs its argument.
+func RunAsync(f func()) {
+	go f()
+}
+
+// WrapperRace spawns through the wrapper and writes while the goroutine is
+// live.
+func WrapperRace() int {
+	m := map[string]int{}
+	done := make(chan struct{})
+	RunAsync(func() {
+		m["k"] = 1
+		close(done)
+	})
+	m["k"] = 2 // want `unsynchronized write of captured variable m may race with the write`
+	<-done
+	return m["k"]
+}
+
+// addTo writes through a pointer parameter and signals a parameter channel.
+func addTo(p *int, done chan struct{}) {
+	*p += 1
+	close(done)
+}
+
+// PtrArgRace aliases a local through a go-call argument.
+func PtrArgRace() int {
+	x := 0
+	done := make(chan struct{})
+	go addTo(&x, done)
+	x++ // want `unsynchronized write of captured variable x may race with the write`
+	<-done
+	return x
+}
+
+// FieldRace reads an exported field while the goroutine owning the receiver
+// writes it (the diagnostic anchors at the write in worker).
+func FieldRace() int {
+	b := &worker.Bad{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go b.Run(&wg)
+	n := b.N
+	wg.Wait()
+	return n
+}
+
+// FieldGuarded spawns two instances of a mutex-guarded worker: clean.
+func FieldGuarded() int {
+	p := &worker.Pool{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go p.Run(&wg)
+	go p.Run(&wg)
+	wg.Wait()
+	return p.Sum()
+}
+
+// CrossPkg races a package variable of another package against a read in
+// the spawner's live window (anchored at the write in worker).
+func CrossPkg() int {
+	done := make(chan struct{})
+	go func() {
+		worker.Bump()
+		close(done)
+	}()
+	sum := worker.Counter
+	<-done
+	return sum
+}
+
+var stats int
+
+// SuppressedWrite carries an audited annotation on the goroutine side.
+func SuppressedWrite() int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		stats++ //parm:conc audited: test-only counter, torn values tolerated
+		wg.Done()
+	}()
+	stats++
+	wg.Wait()
+	return stats
+}

@@ -1,0 +1,48 @@
+// Regression distilled from a real repository finding: a sampler object
+// whose read path runs under concurrent stress-test goroutines while a
+// mutating method writes the same fields with no lock. In the repository
+// (chip.AssignDomain vs chip.SamplePSN under the PSN pipeline stress test)
+// the callers serialize the phases and the lines carry an audited
+// //parm:conc; this fixture keeps the unannotated shape reported.
+package app
+
+import "sync"
+
+// Meter is the distilled Chip: per-slot state read by samplers and written
+// by an assignment phase.
+type Meter struct {
+	Slots []int
+}
+
+// Sample sums the slots; safe only while no assignment runs.
+func (m *Meter) Sample() int {
+	total := 0
+	for _, s := range m.Slots {
+		total += s
+	}
+	return total
+}
+
+// Assign writes one slot with no lock. Under StressReaders' goroutines the
+// write races with Sample's reads — the engine cannot see any cross-phase
+// ordering, and here there is none.
+func (m *Meter) Assign(slot, v int) {
+	m.Slots[slot] = v // want `unsynchronized write of field Meter.Slots may race with the read`
+}
+
+// StressReaders spawns concurrent samplers over the meter, then mutates
+// while they run.
+func StressReaders(m *Meter) int {
+	var wg sync.WaitGroup
+	last := 0
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last = m.Sample() // want `unsynchronized write of captured variable last may race with the write`
+		}()
+	}
+	m.Assign(0, 7)
+	wg.Wait()
+	return last + m.Sample()
+}

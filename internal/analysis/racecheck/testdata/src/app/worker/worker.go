@@ -1,0 +1,47 @@
+// Package worker provides cross-package race scenarios for the racecheck
+// fixtures: a shared package counter and spawned worker types.
+package worker
+
+import "sync"
+
+// Counter is shared package state with no lock.
+var Counter int
+
+// Bump increments the package counter; racy when called from a goroutine
+// while the spawner reads.
+func Bump() {
+	Counter++ // want `unsynchronized write of package variable Counter may race with the read`
+}
+
+// Pool guards its state with a mutex.
+type Pool struct {
+	mu  sync.Mutex
+	sum int
+}
+
+// Run accumulates under the lock.
+func (p *Pool) Run(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	p.sum++
+	p.mu.Unlock()
+	wg.Done()
+}
+
+// Sum reads under the lock.
+func (p *Pool) Sum() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sum
+}
+
+// Bad exposes an unguarded field.
+type Bad struct {
+	N int
+}
+
+// Run writes the field with no lock; the receiver escapes through the go
+// statement, so the spawner's concurrent read races.
+func (b *Bad) Run(wg *sync.WaitGroup) {
+	b.N++ // want `unsynchronized write of field Bad.N may race with the read`
+	wg.Done()
+}

