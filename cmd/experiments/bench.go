@@ -9,6 +9,8 @@ import (
 
 	"parm/internal/appmodel"
 	"parm/internal/core"
+	"parm/internal/geom"
+	"parm/internal/noc"
 	"parm/internal/pdn"
 	"parm/internal/power"
 )
@@ -84,6 +86,23 @@ func benchLoads(p power.NodeParams) [pdn.DomainTiles]pdn.TileLoad {
 	return pdn.BuildLoads(occ)
 }
 
+// benchNoCFlows is a Fig 6-shaped flow set: many flows, each far below link
+// capacity, matching the sparse traffic the engine's measurement windows
+// actually see during the paper workloads.
+func benchNoCFlows() []noc.Flow {
+	rates := []float64{0.004, 0.002, 0.008, 0.001, 0.006}
+	var flows []noc.Flow
+	for i := 0; i < 50; i++ {
+		src := geom.TileID((i * 7) % 60)
+		dst := geom.TileID((i*13 + 5) % 60)
+		if src == dst {
+			dst = (dst + 1) % 60
+		}
+		flows = append(flows, noc.Flow{App: i % 8, Src: src, Dst: dst, Rate: rates[i%len(rates)]})
+	}
+	return flows
+}
+
 // runBench measures the trajectory benchmarks and writes the JSON report to
 // outPath. seed and numApps shape the engine workload (flags shared with
 // the figure experiments).
@@ -144,10 +163,45 @@ func runBench(outPath string, numApps int, seed int64, verbose func(string, ...i
 		}
 	}
 
+	// NoC measurement window, cache-miss path, per strategy, on the Fig
+	// 6-shaped sparse fixture: the dense reference sweep (the seed ticking
+	// loop), the active-set cycle path, and the analytic closed form that
+	// auto mode uses below saturation.
+	verbose("bench: noc window (sparse Fig 6 fixture)")
+	{
+		flows := benchNoCFlows()
+		cycleWindow := func(s noc.Stepping) func() error {
+			return func() error {
+				env := &noc.Env{PSN: make([]float64, 60)}
+				n, err := noc.NewNetwork(noc.Config{Stepping: s}, noc.PANR{}, flows, env)
+				if err != nil {
+					return err
+				}
+				n.Run(1500)
+				n.Measure(8000)
+				return nil
+			}
+		}
+		if err := add(measure("noc_window/dense", 10, 500*time.Millisecond, cycleWindow(noc.SteppingDense))); err != nil {
+			return err
+		}
+		if err := add(measure("noc_window/cycle", 10, 500*time.Millisecond, cycleWindow(noc.SteppingActive))); err != nil {
+			return err
+		}
+		err := add(measure("noc_window/analytic", 100, 300*time.Millisecond, func() error {
+			env := &noc.Env{PSN: make([]float64, 60)}
+			_, _, err := noc.AnalyticMeasure(noc.Config{}, noc.PANR{}, flows, env, 8000)
+			return err
+		}))
+		if err != nil {
+			return err
+		}
+	}
+
 	// Full engine run (the Fig. 6 cell): PARM+PANR over a mixed sequence,
 	// serial PSN measurement vs the default parallel fan-out.
 	verbose("bench: engine run (PARM+PANR, %d mixed apps)", numApps)
-	engineRun := func(workers int) func() error {
+	engineRun := func(workers int, mode core.NoCMode) func() error {
 		return func() error {
 			w, err := appmodel.Generate(appmodel.WorkloadConfig{
 				Kind: appmodel.WorkloadMixed, NumApps: numApps, ArrivalGap: 0.06,
@@ -156,7 +210,7 @@ func runBench(outPath string, numApps int, seed int64, verbose func(string, ...i
 			if err != nil {
 				return err
 			}
-			cfg := core.Config{SoftDeadlines: true}
+			cfg := core.Config{SoftDeadlines: true, NoCMode: mode}
 			cfg.Chip.PSNWorkers = workers
 			eng, err := core.NewEngine(cfg, core.MustCombo("PARM", "PANR"))
 			if err != nil {
@@ -166,10 +220,13 @@ func runBench(outPath string, numApps int, seed int64, verbose func(string, ...i
 			return err
 		}
 	}
-	if err := add(measure("engine_run/serial", 3, 2*time.Second, engineRun(1))); err != nil {
+	if err := add(measure("engine_run/serial", 3, 2*time.Second, engineRun(1, core.NoCModeCycle))); err != nil {
 		return err
 	}
-	if err := add(measure("engine_run/parallel", 3, 2*time.Second, engineRun(0))); err != nil {
+	if err := add(measure("engine_run/parallel", 3, 2*time.Second, engineRun(0, core.NoCModeCycle))); err != nil {
+		return err
+	}
+	if err := add(measure("engine_run/noc_auto", 3, 2*time.Second, engineRun(0, core.NoCModeAuto))); err != nil {
 		return err
 	}
 
@@ -184,6 +241,15 @@ func runBench(outPath string, numApps int, seed int64, verbose func(string, ...i
 	}
 	if ser, par := lookup("engine_run/serial"), lookup("engine_run/parallel"); par > 0 {
 		rep.Derived["speedup_engine_parallel_vs_serial"] = ser / par
+	}
+	if dense, cyc := lookup("noc_window/dense"), lookup("noc_window/cycle"); cyc > 0 {
+		rep.Derived["speedup_noc_cycle_vs_dense"] = dense / cyc
+	}
+	if dense, ana := lookup("noc_window/dense"), lookup("noc_window/analytic"); ana > 0 {
+		rep.Derived["speedup_noc_analytic_vs_dense"] = dense / ana
+	}
+	if par, auto := lookup("engine_run/parallel"), lookup("engine_run/noc_auto"); auto > 0 {
+		rep.Derived["speedup_engine_noc_auto_vs_cycle"] = par / auto
 	}
 
 	f, err := os.Create(outPath)

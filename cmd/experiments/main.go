@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"parm/internal/core"
 	"parm/internal/expr"
 	"parm/internal/obs"
 	"parm/internal/reliability"
@@ -41,12 +42,18 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		bench    = flag.Bool("bench", false, "run the solver/engine benchmark harness instead of the figures")
 		benchOut = flag.String("benchout", "BENCH_parm.json", "benchmark JSON output path (with -bench)")
+		nocMode  = flag.String("noc", "cycle", "NoC measurement mode: cycle (exact), auto (analytic fast path below saturation), or analytic")
 
 		metricsOut  = flag.String("metrics-out", "", "write the aggregated telemetry snapshot as JSON to this file")
 		timelineOut = flag.String("timeline", "", "write engine events as Chrome trace JSON to this file (runs interleave across parallel cells)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	mode, err := core.ParseNoCMode(*nocMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -76,6 +83,7 @@ func main() {
 	all := want["all"]
 
 	opt := expr.Options{NumApps: *numApps, Seed: *seed}
+	opt.Engine.NoCMode = mode
 	if !*quiet {
 		opt.Verbose = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -42,6 +42,7 @@ func main() {
 		loadPath = flag.String("load", "", "load the workload from a JSON file instead of generating it")
 		explain  = flag.Bool("explain", false, "print Algorithm 1's selection trace for the first application")
 		savePath = flag.String("save", "", "save the generated workload as JSON to this file")
+		nocMode  = flag.String("noc", "cycle", "NoC measurement mode: cycle (exact), auto (analytic fast path below saturation), or analytic")
 
 		metricsOut  = flag.String("metrics-out", "", "write the telemetry counter snapshot as JSON to this file")
 		timelineOut = flag.String("timeline", "", "write the engine event timeline as Chrome trace JSON to this file (load at ui.perfetto.dev)")
@@ -106,6 +107,10 @@ func main() {
 	cfg := core.Config{SoftDeadlines: *soft}
 	cfg.Chip.DsPB = power.Watts(*dspb)
 	cfg.Chip.PSNWorkers = *psnWorkers
+	cfg.NoCMode, err = core.ParseNoCMode(*nocMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *explain {
 		steps, err := core.ExplainOnEmptyChip(cfg, fw, w.Apps[0])
 		if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"parm/internal/appmodel"
@@ -23,9 +24,9 @@ type Config struct {
 	// SamplePeriod is the PSN sampling interval in seconds (paper §5.1
 	// samples periodically and at map/unmap events). Zero selects 10 ms.
 	SamplePeriod float64
-	// WindowCycles is the NoC measurement window length. Zero selects 12000.
+	// WindowCycles is the NoC measurement window length. Zero selects 8000.
 	WindowCycles int
-	// WarmupCycles precede each measurement window. Zero selects 2000.
+	// WarmupCycles precede each measurement window. Zero selects 1500.
 	WarmupCycles int
 	// RouterHz is the NoC clock for cycle-to-seconds conversion (paper
 	// §4.4: hop selection at 1 GHz). Zero selects 1 GHz.
@@ -69,6 +70,57 @@ type Config struct {
 	// scale per unit of threshold exceedance and its cap. Zero selects the
 	// noc.NewNoiseDropModel defaults (0.5 and 0.75).
 	NoCDropScale, NoCDropCap float64
+	// NoCMode selects the NoC measurement strategy (DESIGN.md §11). The
+	// zero value NoCModeCycle keeps cycle-accurate simulation with
+	// exact-input memoization — metrics stay byte-identical to the recorded
+	// experiments. NoCModeAuto quantizes the memo key so near-repeat mapper
+	// states hit the cache and answers uncongested windows with the
+	// closed-form analytic model, falling back to cycle simulation when any
+	// link's offered load exceeds NoC.SatLinkLoad; fault injection always
+	// forces the cycle path. NoCModeAnalytic answers every window with the
+	// closed form, congested or not — for model studies only.
+	NoCMode NoCMode
+}
+
+// NoCMode selects how NoC measurement windows are produced.
+type NoCMode int
+
+const (
+	// NoCModeCycle is the exact default: cycle simulation, exact memo keys.
+	NoCModeCycle NoCMode = iota
+	// NoCModeAuto uses the quantized memo plus the analytic fast path for
+	// uncongested windows, cycle simulation otherwise.
+	NoCModeAuto
+	// NoCModeAnalytic answers every window with the closed form.
+	NoCModeAnalytic
+)
+
+// String returns the CLI name of the mode.
+func (m NoCMode) String() string {
+	switch m {
+	case NoCModeCycle:
+		return "cycle"
+	case NoCModeAuto:
+		return "auto"
+	case NoCModeAnalytic:
+		return "analytic"
+	default:
+		return fmt.Sprintf("NoCMode(%d)", int(m))
+	}
+}
+
+// ParseNoCMode maps a CLI name ("cycle", "auto", "analytic") to its mode.
+func ParseNoCMode(s string) (NoCMode, error) {
+	switch s {
+	case "cycle":
+		return NoCModeCycle, nil
+	case "auto":
+		return NoCModeAuto, nil
+	case "analytic":
+		return NoCModeAnalytic, nil
+	default:
+		return 0, fmt.Errorf("core: unknown NoC mode %q (want cycle, auto, or analytic)", s)
+	}
 }
 
 // VEMode selects the engine's voltage-emergency penalty model.
@@ -238,9 +290,11 @@ type Engine struct {
 	nocHits   int
 	nocMisses int
 	// flowsBuf and idsBuf are reused across activeFlows calls to avoid
-	// rebuilding the flow list allocation on every event.
+	// rebuilding the flow list allocation on every event; quantBuf holds the
+	// quantized memo key in the non-cycle NoC modes.
 	flowsBuf []noc.Flow
 	idsBuf   []int
+	quantBuf []noc.Flow
 
 	// faultPlan supplies VERollback emergencies; nocFaults, when non-nil,
 	// is installed in every NoC measurement (NoCFaultInjection) and
@@ -792,21 +846,98 @@ type nocMemoEntry struct {
 // negligible next to a warmup+measure cycle simulation.
 const nocMemoCap = 16
 
+// nocRateQuantum is the flow-rate grid of the quantized memo key used by
+// NoCModeAuto and NoCModeAnalytic: rates are snapped to multiples of 1/4096
+// flit/cycle before the memo lookup, so mapper states whose flow rates differ
+// by less than half a quantum share one measurement. The induced measurement
+// error is bounded by the drift tests (see DESIGN.md §11); NoCModeCycle keys
+// on exact rates and is unaffected.
+const nocRateQuantum = 1.0 / 4096
+
+// quantizedFlows returns flows with every rate snapped to the memo grid. The
+// result aliases e.quantBuf and is valid until the next call; measurementFor
+// copies it before memoizing.
+func (e *Engine) quantizedFlows(flows []noc.Flow) []noc.Flow {
+	q := append(e.quantBuf[:0], flows...)
+	for i := range q {
+		q[i].Rate = math.Round(q[i].Rate/nocRateQuantum) * nocRateQuantum
+	}
+	e.quantBuf = q
+	return q
+}
+
 // measurementFor returns the NoC measurement for the given non-empty flow
 // list: the memoized result when both the flow list and the sensor PSN
-// environment exactly match a remembered measurement (the cycle simulation
-// is a deterministic function of the two), a fresh warmup+measure
-// otherwise.
+// environment match a remembered measurement (the simulation is a
+// deterministic function of the two), a fresh window otherwise. In
+// NoCModeCycle the memo key is the exact flow list; the other modes key on
+// quantized rates so near-identical mapper states share a window.
 func (e *Engine) measurementFor(flows []noc.Flow) (*noc.Result, error) {
+	key := flows
+	if e.cfg.NoCMode != NoCModeCycle {
+		key = e.quantizedFlows(flows)
+	}
 	if !e.cfg.DisableNoCCache {
 		for i := range e.nocMemo {
 			m := &e.nocMemo[i]
-			if flowsEqual(m.flows, flows) && floatsEqual(m.psn, e.env.PSN) {
+			if flowsEqual(m.flows, key) && floatsEqual(m.psn, e.env.PSN) {
 				e.nocHits++
 				e.tel.nocHits.Inc()
 				return m.res, nil
 			}
 		}
+	}
+	res, err := e.simulateWindow(key)
+	if err != nil {
+		return nil, err
+	}
+	e.nocMisses++
+	e.tel.nocMisses.Inc()
+	var inj, del uint64
+	for i := range res.Flows {
+		inj += uint64(res.Flows[i].InjectedFlits)
+		del += uint64(res.Flows[i].DeliveredFlits)
+	}
+	e.tel.flitsInj.Add(inj)
+	e.tel.flitsDel.Add(del)
+	if e.cfg.DisableNoCCache {
+		return res, nil
+	}
+	// Copy the inputs: key aliases a reusable buffer and env.PSN is
+	// overwritten by the next PSN sample. Evict the oldest entry once full,
+	// recycling its slices.
+	var entry nocMemoEntry
+	if len(e.nocMemo) >= nocMemoCap {
+		entry = e.nocMemo[0]
+		e.nocMemo = append(e.nocMemo[:0], e.nocMemo[1:]...)
+	}
+	entry.flows = append(entry.flows[:0], key...)
+	entry.psn = append(entry.psn[:0], e.env.PSN...)
+	entry.res = res
+	e.nocMemo = append(e.nocMemo, entry)
+	return res, nil
+}
+
+// simulateWindow produces one measurement window for the flow list. In the
+// non-cycle modes with no fault model installed it first tries the analytic
+// closed form; NoCModeAuto only accepts that answer for uncongested windows
+// (no resource's offered load above NoC.SatLinkLoad), while NoCModeAnalytic
+// accepts it unconditionally. Everything else — NoCModeCycle, fault
+// injection, and saturated windows under NoCModeAuto — runs the
+// cycle-accurate warmup+measure.
+func (e *Engine) simulateWindow(flows []noc.Flow) (*noc.Result, error) {
+	if e.cfg.NoCMode != NoCModeCycle && e.nocFaults == nil {
+		res, rep, err := noc.AnalyticMeasure(e.cfg.NoC, e.fw.Routing, flows, &e.env, e.cfg.WindowCycles)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Saturated || e.cfg.NoCMode == NoCModeAnalytic {
+			e.tel.nocAnalytic.Inc()
+			e.tel.nocWindows.Inc()
+			e.tel.measuredCyc.Add(uint64(res.Cycles))
+			return res, nil
+		}
+		e.tel.nocFallback.Inc()
 	}
 	net, err := noc.NewNetwork(e.cfg.NoC, e.fw.Routing, flows, &e.env)
 	if err != nil {
@@ -829,33 +960,9 @@ func (e *Engine) measurementFor(flows []noc.Flow) (*noc.Result, error) {
 			e.tel.nocRecovered.Add(uint64(fs.RecoveredPackets))
 		}
 	}
-	e.nocMisses++
-	e.tel.nocMisses.Inc()
 	e.tel.nocWindows.Inc()
 	e.tel.warmupCyc.Add(uint64(e.cfg.WarmupCycles))
 	e.tel.measuredCyc.Add(uint64(res.Cycles))
-	var inj, del uint64
-	for i := range res.Flows {
-		inj += uint64(res.Flows[i].InjectedFlits)
-		del += uint64(res.Flows[i].DeliveredFlits)
-	}
-	e.tel.flitsInj.Add(inj)
-	e.tel.flitsDel.Add(del)
-	if e.cfg.DisableNoCCache {
-		return res, nil
-	}
-	// Copy the inputs: flows aliases the reusable buffer and env.PSN is
-	// overwritten by the next PSN sample. Evict the oldest entry once full,
-	// recycling its slices.
-	var entry nocMemoEntry
-	if len(e.nocMemo) >= nocMemoCap {
-		entry = e.nocMemo[0]
-		e.nocMemo = append(e.nocMemo[:0], e.nocMemo[1:]...)
-	}
-	entry.flows = append(entry.flows[:0], flows...)
-	entry.psn = append(entry.psn[:0], e.env.PSN...)
-	entry.res = res
-	e.nocMemo = append(e.nocMemo, entry)
 	return res, nil
 }
 

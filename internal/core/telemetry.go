@@ -26,7 +26,9 @@ type telemetry struct {
 	// NoC measurement path (engine-side).
 	nocHits     *obs.Counter // noc/memo/hits
 	nocMisses   *obs.Counter // noc/memo/misses
-	nocWindows  *obs.Counter // noc/windows: cycle-level measurements actually run
+	nocWindows  *obs.Counter // noc/windows: measurements actually produced
+	nocAnalytic *obs.Counter // noc/analytic_windows: windows answered by the closed form
+	nocFallback *obs.Counter // noc/analytic_fallbacks: saturated windows sent back to cycle sim
 	warmupCyc   *obs.Counter // noc/warmup_cycles
 	measuredCyc *obs.Counter // noc/measured_cycles
 	flitsInj    *obs.Counter // noc/flits_injected/<scheme>
@@ -60,6 +62,8 @@ func (t *telemetry) init(r *obs.Registry, scheme string, numDomains int) {
 	t.nocHits = r.Counter("noc/memo/hits")
 	t.nocMisses = r.Counter("noc/memo/misses")
 	t.nocWindows = r.Counter("noc/windows")
+	t.nocAnalytic = r.Counter("noc/analytic_windows")
+	t.nocFallback = r.Counter("noc/analytic_fallbacks")
 	t.warmupCyc = r.Counter("noc/warmup_cycles")
 	t.measuredCyc = r.Counter("noc/measured_cycles")
 	t.flitsInj = r.Counter("noc/flits_injected/" + scheme)

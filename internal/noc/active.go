@@ -1,0 +1,180 @@
+package noc
+
+// This file holds the data structures behind the event-driven stepping fast
+// path (DESIGN.md §11): the active-tile bitsets that let Step visit only
+// routers and source NICs with work, the wakeup heap that replaces per-cycle
+// demand accrual for dormant flows, and the slice-backed packet-start log
+// that replaced the (flow, seq) map in the cycle loop.
+
+// tileSet is a fixed-capacity bitset over tile indices. Iteration is in
+// ascending tile order — the same order the dense reference sweeps routers,
+// which the switch-traversal credit chain depends on (an upstream router
+// observes the pops its downstream neighbors performed earlier in the same
+// ascending sweep).
+type tileSet struct {
+	words []uint64
+}
+
+func newTileSet(n int) tileSet { return tileSet{words: make([]uint64, (n+63)/64)} }
+
+func (s *tileSet) set(t int)   { s.words[t>>6] |= 1 << uint(t&63) }
+func (s *tileSet) clear(t int) { s.words[t>>6] &^= 1 << uint(t&63) }
+
+// empty reports whether no tile is set. The scan is a handful of words even
+// on a 32x32 mesh, so idle cycles cost O(tiles/64), not O(tiles).
+//
+//parm:hot
+func (s *tileSet) empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// flowWake is one pending accrual wakeup: flow's source NIC needs per-cycle
+// attention no later than cycle (its next possible packet staging).
+type flowWake struct {
+	cycle int
+	flow  int
+}
+
+// wakeHeap is a typed binary min-heap of flow wakeups ordered by (cycle,
+// flow). The flow tie-break keeps the heap layout reproducible; processing
+// order at equal cycles cannot affect results because demand accrual touches
+// only per-flow state.
+type wakeHeap []flowWake
+
+func (h wakeHeap) less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].flow < h[j].flow
+}
+
+//parm:hot
+func (h *wakeHeap) push(w flowWake) {
+	// Amortized zero-alloc: the heap grows to one live entry per flow during
+	// warmup and is stable afterwards.
+	//parm:alloc
+	*h = append(*h, w)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+//parm:hot
+func (h *wakeHeap) pop() flowWake {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
+}
+
+// flowLog maps one flow's in-flight packet sequence numbers to their head
+// injection cycles. Sequence numbers are recorded in increasing order (the
+// NIC allocates them monotonically) but may be taken out of order: under
+// adaptive routing, consecutive packets of one flow can follow different
+// paths and eject reordered. The ring therefore tolerates holes — a taken
+// slot is marked consumed and the base advances over the consumed prefix.
+//
+// This replaced the packetStarts map[[2]int]int of the seed loop: the ring
+// grows (amortized, during warmup) to the flow's in-flight high-water mark
+// and then runs allocation-free, where the map hashed on every head
+// injection and tail ejection.
+type flowLog struct {
+	base int   // sequence number stored at buf[head]
+	head int   // ring index of base
+	n    int   // live span: sequences [base, base+n) occupy the ring
+	buf  []int // injection cycles; -1 marks a consumed slot
+}
+
+// record stores the injection cycle of sequence seq. seq is always the
+// flow's next unrecorded sequence number.
+//
+//parm:hot
+func (l *flowLog) record(seq, cycle int) {
+	if len(l.buf) == 0 {
+		l.buf = make([]int, 4)
+	}
+	if l.n == 0 {
+		l.base = seq
+		l.head = 0
+		l.buf[0] = cycle
+		l.n = 1
+		return
+	}
+	if l.n == len(l.buf) {
+		// Grow and linearize. Amortized: stops once the ring reaches the
+		// flow's steady-state in-flight packet count.
+		//parm:alloc
+		grown := make([]int, 2*len(l.buf))
+		for i := 0; i < l.n; i++ {
+			grown[i] = l.buf[(l.head+i)%len(l.buf)]
+		}
+		l.buf = grown
+		l.head = 0
+	}
+	i := l.head + l.n
+	if i >= len(l.buf) {
+		i -= len(l.buf)
+	}
+	l.buf[i] = cycle
+	l.n++
+}
+
+// take removes and returns the recorded injection cycle of sequence seq,
+// reporting whether it was present.
+//
+//parm:hot
+func (l *flowLog) take(seq int) (int, bool) {
+	if l.n == 0 || seq < l.base || seq >= l.base+l.n {
+		return 0, false
+	}
+	idx := l.head + (seq - l.base)
+	if idx >= len(l.buf) {
+		idx -= len(l.buf)
+	}
+	c := l.buf[idx]
+	if c < 0 {
+		return 0, false
+	}
+	l.buf[idx] = -1
+	// Compact the consumed prefix so the live span stays tight.
+	for l.n > 0 && l.buf[l.head] < 0 {
+		l.head++
+		if l.head == len(l.buf) {
+			l.head = 0
+		}
+		l.base++
+		l.n--
+	}
+	return c, true
+}

@@ -1,0 +1,255 @@
+package noc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"parm/internal/geom"
+)
+
+// This file pins the equivalence contract of DESIGN.md §11: the active-set
+// stepping path (bitsets, wakeup heap, lazy EWMA decay) must be cycle-exact
+// against the dense reference sweep — same Measure results, same observable
+// rate estimates, bit for bit — and the analytic closed form must stay within
+// its documented drift bounds on uncongested fixtures.
+
+// equivFixtures covers the regimes the engine produces: Fig 6-shaped sparse
+// traffic, the saturated bench fixture, a hotspot, single-flit packets, and
+// an empty-then-bursty corner with one dominant flow.
+func equivFixtures() map[string]struct {
+	cfg   Config
+	flows []Flow
+} {
+	hotspot := make([]Flow, 0, 8)
+	for i := 1; i <= 8; i++ {
+		hotspot = append(hotspot, Flow{App: i, Src: geom.TileID(i * 6), Dst: 30, Rate: 0.15})
+	}
+	return map[string]struct {
+		cfg   Config
+		flows []Flow
+	}{
+		"sparse":    {Config{}, sparseFlows()},
+		"saturated": {Config{}, benchFlows()},
+		"hotspot":   {Config{}, hotspot},
+		"fpp1":      {Config{FlitsPerPacket: 1}, sparseFlows()[:20]},
+		"single":    {Config{}, []Flow{{Src: 0, Dst: 59, Rate: 0.3}}},
+	}
+}
+
+// measureBoth runs the same fixture under both stepping strategies and
+// returns the two networks after an identical warmup+measure schedule.
+// newFM builds a fresh fault model per network — a stateful (seeded-RNG)
+// model must not be shared, or the second run would continue the first
+// run's random stream.
+func measureBoth(t *testing.T, cfg Config, alg Algorithm, flows []Flow, env *Env, newFM func() FaultModel) (a, d *Network, ra, rd *Result) {
+	t.Helper()
+	mk := func(s Stepping) (*Network, *Result) {
+		c := cfg
+		c.Stepping = s
+		n, err := NewNetwork(c, alg, flows, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if newFM != nil {
+			n.SetFaultModel(newFM())
+		}
+		n.Run(1500)
+		return n, n.Measure(6000)
+	}
+	a, ra = mk(SteppingActive)
+	d, rd = mk(SteppingDense)
+	return a, d, ra, rd
+}
+
+// requireIdentical asserts two runs are observably bit-identical: Measure
+// results via DeepEqual and every router's IncomingRate estimate bitwise
+// (//parm:floateq — this is an exactness check, not a tolerance check).
+func requireIdentical(t *testing.T, name string, a, d *Network, ra, rd *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ra, rd) {
+		t.Errorf("%s: active Measure diverged from dense:\nactive: %+v\ndense:  %+v", name, ra, rd)
+	}
+	for tile := 0; tile < 60 && tile < len(a.routers); tile++ {
+		ia, id := a.IncomingRate(geom.TileID(tile)), d.IncomingRate(geom.TileID(tile))
+		//parm:floateq
+		if ia != id {
+			t.Errorf("%s: tile %d IncomingRate active=%g dense=%g (diff %g)", name, tile, ia, id, ia-id)
+		}
+	}
+}
+
+// TestActiveDenseEquivalence is the headline exactness test: for every
+// routing scheme and fixture, the event-driven path and the dense reference
+// produce bit-identical measurements and rate estimates.
+func TestActiveDenseEquivalence(t *testing.T) {
+	for fxName, fx := range equivFixtures() {
+		for _, alg := range []Algorithm{XY{}, WestFirst{}, ICON{}, PANR{}} {
+			name := fxName + "/" + alg.Name()
+			env := &Env{PSN: make([]float64, 60)}
+			a, d, ra, rd := measureBoth(t, fx.cfg, alg, fx.flows, env, nil)
+			requireIdentical(t, name, a, d, ra, rd)
+		}
+	}
+}
+
+// TestActiveDenseEquivalenceFaulted repeats the check with a fault model
+// installed (noisy PSN environment, drops, retransmissions, recovery) —
+// the fault path shares the same injection and ejection bookkeeping.
+func TestActiveDenseEquivalenceFaulted(t *testing.T) {
+	env := noisyEnv(0.08)
+	for _, tc := range []struct {
+		name  string
+		newFM func() FaultModel
+	}{
+		{"deterministic", func() FaultModel { return dropAbove{threshold: 0.05} }},
+		{"seeded-rng", func() FaultModel { return NewNoiseDropModel(17, 0.05, 0, 0) }},
+	} {
+		a, d, ra, rd := measureBoth(t, Config{}, PANR{}, benchFlows(), env, tc.newFM)
+		requireIdentical(t, "faulted/"+tc.name, a, d, ra, rd)
+	}
+}
+
+// TestActiveDenseLockstep steps both strategies cycle by cycle and compares
+// after every single cycle, so a divergence is caught at the cycle it first
+// appears rather than smeared over a window.
+func TestActiveDenseLockstep(t *testing.T) {
+	env := &Env{PSN: make([]float64, 60)}
+	flows := sparseFlows()[:25]
+	mk := func(s Stepping) *Network {
+		n, err := NewNetwork(Config{Stepping: s}, PANR{}, flows, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, d := mk(SteppingActive), mk(SteppingDense)
+	for c := 0; c < 3000; c++ {
+		a.Step()
+		d.Step()
+		for tile := 0; tile < 60; tile++ {
+			ia, id := a.IncomingRate(geom.TileID(tile)), d.IncomingRate(geom.TileID(tile))
+			//parm:floateq
+			if ia != id {
+				t.Fatalf("cycle %d tile %d: IncomingRate active=%g dense=%g", c, tile, ia, id)
+			}
+		}
+		if c%500 == 499 {
+			if !reflect.DeepEqual(a.stats, d.stats) {
+				t.Fatalf("cycle %d: flow stats diverged\nactive: %+v\ndense:  %+v", c, a.stats, d.stats)
+			}
+			for tile := range a.routers {
+				if a.routers[tile].forwarded != d.routers[tile].forwarded {
+					t.Fatalf("cycle %d tile %d: forwarded active=%d dense=%d", c, tile, a.routers[tile].forwarded, d.routers[tile].forwarded)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyticDrift bounds the closed form against the cycle simulation on
+// uncongested fixtures. These are the documented drift bounds of the model
+// (DESIGN.md §11): per-flow throughput within ±2 packets of window
+// quantization, aggregate router utilization within 10%, mean packet latency
+// within 35% (per-flow latency is NOT bounded here — deterministic
+// phase-locked worm collisions between commensurate-rate flows are a
+// cycle-sim artifact no load-based model reproduces).
+func TestAnalyticDrift(t *testing.T) {
+	for _, alg := range []Algorithm{XY{}, PANR{}} {
+		env := &Env{PSN: make([]float64, 60)}
+		flows := sparseFlows()
+		cfg := Config{}.withDefaults()
+		n, err := NewNetwork(cfg, alg, flows, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(1500)
+		ref := n.Measure(8000)
+		res, rep, err := AnalyticMeasure(cfg, alg, flows, env, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Saturated {
+			t.Fatalf("%s: sparse fixture reported saturated (MaxLoad %g)", alg.Name(), rep.MaxLoad)
+		}
+
+		var latRef, latAna float64
+		var pktRef, pktAna int
+		var utilRef, utilAna float64
+		for i := range flows {
+			fr, fa := ref.Flows[i], res.Flows[i]
+			if d := fa.DeliveredPackets - fr.DeliveredPackets; d < -2 || d > 2 {
+				t.Errorf("%s flow %d: analytic packets %d, cycle %d (drift > 2)", alg.Name(), i, fa.DeliveredPackets, fr.DeliveredPackets)
+			}
+			latRef += float64(fr.TotalPacketLatency)
+			latAna += float64(fa.TotalPacketLatency)
+			pktRef += fr.DeliveredPackets
+			pktAna += fa.DeliveredPackets
+		}
+		for tile := range ref.RouterUtil {
+			utilRef += ref.RouterUtil[tile]
+			utilAna += res.RouterUtil[tile]
+		}
+		meanRef, meanAna := latRef/float64(pktRef), latAna/float64(pktAna)
+		if rel := math.Abs(meanAna-meanRef) / meanRef; rel > 0.35 {
+			t.Errorf("%s: analytic mean latency %g, cycle %g (rel drift %.3f > 0.35)", alg.Name(), meanAna, meanRef, rel)
+		}
+		if rel := math.Abs(utilAna-utilRef) / utilRef; rel > 0.10 {
+			t.Errorf("%s: analytic aggregate util %g, cycle %g (rel drift %.3f > 0.10)", alg.Name(), utilAna, utilRef, rel)
+		}
+	}
+}
+
+// TestAnalyticZeroLoadExact pins the exact corner: a single flow on an
+// otherwise idle mesh has the textbook zero-load latency hops+fpp, and the
+// closed form must reproduce the cycle simulation's per-packet latency
+// exactly there.
+func TestAnalyticZeroLoadExact(t *testing.T) {
+	env := &Env{PSN: make([]float64, 60)}
+	flows := []Flow{{Src: 0, Dst: 9, Rate: 0.002}}
+	cfg := Config{}.withDefaults()
+	res, rep, err := AnalyticMeasure(cfg, XY{}, flows, env, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Saturated {
+		t.Fatal("single sparse flow reported saturated")
+	}
+	fs := res.Flows[0]
+	if fs.DeliveredPackets == 0 {
+		t.Fatal("analytic window delivered nothing")
+	}
+	// 9 hops + 5 flits serialization, no contention terms.
+	if got := fs.AvgPacketLatency(); got != 14 {
+		t.Errorf("zero-load analytic latency = %g, want 14", got)
+	}
+}
+
+// TestAnalyticSaturationDetection checks the guard the auto mode relies on:
+// a hotspot whose ejection port is offered more than SatLinkLoad must be
+// flagged, a sparse fixture must not.
+func TestAnalyticSaturationDetection(t *testing.T) {
+	env := &Env{PSN: make([]float64, 60)}
+	cfg := Config{}.withDefaults()
+	hot := make([]Flow, 0, 8)
+	for i := 1; i <= 8; i++ {
+		hot = append(hot, Flow{Src: geom.TileID(i), Dst: 30, Rate: 0.2})
+	}
+	_, rep, err := AnalyticMeasure(cfg, XY{}, hot, env, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Saturated {
+		t.Errorf("hotspot not flagged saturated (MaxLoad %g, threshold %g)", rep.MaxLoad, cfg.SatLinkLoad)
+	}
+	if rep.MaxLoad < 1.0 {
+		t.Errorf("hotspot MaxLoad = %g, want >= 1.0 (8 flows x 0.2 on one ejection port)", rep.MaxLoad)
+	}
+	_, rep, err = AnalyticMeasure(cfg, XY{}, sparseFlows(), env, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Saturated {
+		t.Errorf("sparse fixture flagged saturated (MaxLoad %g)", rep.MaxLoad)
+	}
+}

@@ -2,9 +2,27 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"parm/internal/geom"
+)
+
+// Stepping selects the cycle-loop implementation.
+type Stepping int
+
+const (
+	// SteppingActive is the event-driven default: only routers holding
+	// flits and tiles with staged or mid-packet injections are visited each
+	// cycle, dormant flows accrue demand via scheduled wakeups, and fully
+	// idle stretches are skipped in one jump (DESIGN.md §11).
+	SteppingActive Stepping = iota
+	// SteppingDense is the reference loop: every flow and every router is
+	// ticked every cycle, as the pre-fast-path simulator did. It shares the
+	// per-tile micro-step helpers with the active path and exists for the
+	// cycle-exact equivalence tests; both implementations produce
+	// bit-identical metrics.
+	SteppingDense
 )
 
 // Config parameterizes the NoC simulation.
@@ -27,6 +45,14 @@ type Config struct {
 	// experiment was calibrated against (TestConfigDefaults pins doc and
 	// code together).
 	RateEWMA float64
+	// Stepping selects the cycle-loop implementation; the zero value is the
+	// event-driven active-set path, SteppingDense the full-sweep reference.
+	Stepping Stepping
+	// SatLinkLoad is the per-link offered load (flits per cycle, injection
+	// and ejection ports included) above which AnalyticMeasure declares the
+	// network congested and callers must fall back to cycle simulation.
+	// Zero selects 0.6 (DESIGN.md §11 derives the value).
+	SatLinkLoad float64
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RateEWMA == 0 {
 		c.RateEWMA = 0.05
+	}
+	if c.SatLinkLoad == 0 {
+		c.SatLinkLoad = 0.6
 	}
 	return c
 }
@@ -85,14 +114,28 @@ type Network struct {
 	acc     []float64 // fractional flit credit accumulated from Rate
 	staged  []int     // whole packets waiting at the source NIC
 	nextSeq []int     // next packet sequence number
+	// accCycle[i] is the last cycle whose demand accrual has been replayed
+	// into acc[i]; the active path advances it lazily at wakeups, the dense
+	// path every cycle.
+	accCycle []int
 	// partial[t] tracks, per tile, the flow whose packet is mid-injection
 	// and how many flits remain, so packets enter the local port contiguously.
-	partialFlow  []int
-	partialLeft  []int
-	injectRR     []int // round-robin pointer over flows per source tile
-	flowsBySrc   [][]int
-	srcTiles     []int // tiles with at least one flow source, ascending
-	packetStarts map[[2]int]int // (flow, seq) -> injection cycle of head
+	partialFlow []int
+	partialLeft []int
+	injectRR    []int // round-robin pointer over flows per source tile
+	flowsBySrc  [][]int
+	srcTiles    []int     // tiles with at least one flow source, ascending
+	starts      []flowLog // per-flow packet-start log: seq -> head injection cycle
+
+	// active-set stepping state: which routers hold flits, which tiles have
+	// staged or mid-packet injection work, and when each dormant flow next
+	// needs demand accrual.
+	activeRouters tileSet
+	activeTiles   tileSet
+	stagedFlows   []int // per tile, count of flows with staged > 0
+	wake          wakeHeap
+	nextWake      []int // latest scheduled wake per flow; -1 when dormant
+	rated         []int // tiles that received flits this cycle (deduplicated)
 
 	// per-cycle scratch, reused to avoid allocation in the hot loop
 	arrivalScratch []pendingArrival
@@ -100,11 +143,12 @@ type Network struct {
 
 	// faults, when non-nil, injects noise-induced packet losses at ejection
 	// (SetFaultModel). pendingRecovery[f] counts flow f's retransmissions
-	// still owed a delivery; packetNoise parks each head flit's accumulated
-	// path noise until the tail closes the packet.
+	// still owed a delivery; headNoise[f] parks the head flit's accumulated
+	// path noise until the tail closes the packet (ejection is contiguous
+	// per packet, so one slot per flow suffices).
 	faults          FaultModel
 	pendingRecovery []int
-	packetNoise     map[[2]int]float64
+	headNoise       []float64
 
 	cycle int
 }
@@ -122,23 +166,31 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 	}
 	mesh := geom.NewMesh(cfg.Width, cfg.Height)
 	n := &Network{
-		cfg:          cfg,
-		mesh:         mesh,
-		alg:          alg,
-		env:          env,
-		routers:      make([]router, mesh.NumTiles()),
-		flows:        flows,
-		stats:        make([]FlowStats, len(flows)),
-		acc:          make([]float64, len(flows)),
-		staged:       make([]int, len(flows)),
-		nextSeq:      make([]int, len(flows)),
-		partialFlow:  make([]int, mesh.NumTiles()),
-		partialLeft:  make([]int, mesh.NumTiles()),
-		injectRR:     make([]int, mesh.NumTiles()),
-		flowsBySrc:   make([][]int, mesh.NumTiles()),
-		packetStarts: make(map[[2]int]int),
+		cfg:           cfg,
+		mesh:          mesh,
+		alg:           alg,
+		env:           env,
+		routers:       make([]router, mesh.NumTiles()),
+		flows:         flows,
+		stats:         make([]FlowStats, len(flows)),
+		acc:           make([]float64, len(flows)),
+		staged:        make([]int, len(flows)),
+		nextSeq:       make([]int, len(flows)),
+		accCycle:      make([]int, len(flows)),
+		partialFlow:   make([]int, mesh.NumTiles()),
+		partialLeft:   make([]int, mesh.NumTiles()),
+		injectRR:      make([]int, mesh.NumTiles()),
+		flowsBySrc:    make([][]int, mesh.NumTiles()),
+		starts:        make([]flowLog, len(flows)),
+		activeRouters: newTileSet(mesh.NumTiles()),
+		activeTiles:   newTileSet(mesh.NumTiles()),
+		stagedFlows:   make([]int, mesh.NumTiles()),
+		nextWake:      make([]int, len(flows)),
 		// Preallocated to their steady-state bounds so the cycle loop never
-		// grows them: at most one arrival per (tile, port) per cycle.
+		// grows them: at most one arrival per (tile, port) per cycle, one
+		// rated entry per tile per cycle, one live wakeup per flow.
+		rated:          make([]int, 0, mesh.NumTiles()),
+		wake:           make(wakeHeap, 0, len(flows)),
 		arrivalScratch: make([]pendingArrival, 0, mesh.NumTiles()*geom.NumPorts),
 		inFlight:       make([][geom.NumPorts]int, mesh.NumTiles()),
 	}
@@ -146,6 +198,7 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 	bufs := make([]flit, mesh.NumTiles()*geom.NumPorts*cfg.BufferFlits)
 	for i := range n.routers {
 		n.routers[i].tile = geom.TileID(i)
+		n.routers[i].recvCycle = -1
 		for p := range n.routers[i].owner {
 			n.routers[i].owner[p] = noOwner
 			off := (i*geom.NumPorts + p) * cfg.BufferFlits
@@ -160,6 +213,8 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 		if f.Rate < 0 {
 			return nil, fmt.Errorf("noc: flow %d has negative rate %g", i, f.Rate)
 		}
+		n.accCycle[i] = -1
+		n.nextWake[i] = -1
 		if f.Src != f.Dst {
 			if len(n.flowsBySrc[f.Src]) == 0 {
 				n.srcTiles = append(n.srcTiles, int(f.Src))
@@ -168,6 +223,13 @@ func NewNetwork(cfg Config, alg Algorithm, flows []Flow, env *Env) (*Network, er
 		}
 	}
 	sort.Ints(n.srcTiles)
+	if cfg.Stepping == SteppingActive {
+		for i, f := range flows {
+			if f.Src != f.Dst {
+				n.scheduleWake(i)
+			}
+		}
+	}
 	return n, nil
 }
 
@@ -184,82 +246,267 @@ func (n *Network) SetFaultModel(fm FaultModel) {
 	n.faults = fm
 	if fm != nil && n.pendingRecovery == nil {
 		n.pendingRecovery = make([]int, len(n.flows))
-		n.packetNoise = make(map[[2]int]float64)
+		n.headNoise = make([]float64, len(n.flows))
 	}
 }
 
-// IncomingRate returns the EWMA incoming flit rate of tile t's router.
+// IncomingRate returns the EWMA incoming flit rate of tile t's router,
+// folding any pending idle-cycle decay first (see catchUpRate).
 func (n *Network) IncomingRate(t geom.TileID) float64 {
-	return n.routers[t].incomingRate
+	r := &n.routers[t]
+	n.catchUpRate(r, n.cycle-1)
+	return r.incomingRate
 }
 
 // SensorPSN returns the environment's PSN reading at tile t.
 func (n *Network) SensorPSN(t geom.TileID) float64 { return n.env.psnAt(t) }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle. The active path visits only
+// tiles with injection work and routers holding flits; every micro-step it
+// performs is identical, in the same ascending-tile order, to what the
+// dense reference sweep would have done — the skipped tiles are exactly
+// those for which the dense body is a no-op.
 //
 //parm:hot
 func (n *Network) Step() {
-	n.inject()
-	n.routeCompute()
-	arrivals := n.switchTraversal()
+	if n.cfg.Stepping == SteppingDense {
+		n.stepDense()
+		return
+	}
+	n.processWakeups()
+	// Injection sweep over tiles with staged packets or a mid-packet worm.
+	for wi, w := range n.activeTiles.words {
+		base := wi << 6
+		for w != 0 {
+			n.injectAtTile(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	// Route compute, then switch traversal, over routers holding flits.
+	// Traversal must sweep in ascending tile order: a downstream pop earlier
+	// in the sweep frees a credit an upstream router sees the same cycle.
+	for wi, w := range n.activeRouters.words {
+		base := wi << 6
+		for w != 0 {
+			n.routeComputeRouter(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	arrivals := n.arrivalScratch[:0]
+	for wi, w := range n.activeRouters.words {
+		base := wi << 6
+		for w != 0 {
+			arrivals = n.traverseRouter(base+bits.TrailingZeros64(w), arrivals)
+			w &= w - 1
+		}
+	}
 	n.applyArrivals(arrivals)
 	n.arrivalScratch = arrivals[:0]
-	n.updateRates()
+	n.foldRates()
 	n.cycle++
 }
 
-// Run advances the simulation by the given number of cycles.
-func (n *Network) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
-		n.Step()
-	}
-}
-
-// inject moves demand into source NICs and NIC flits into local input ports.
-//
-//parm:hot
-func (n *Network) inject() {
-	// Accrue demand and stage whole packets.
+// stepDense is the reference cycle: every flow accrues and every router is
+// swept, whether or not it has work. It shares the per-tile micro-step
+// helpers with the active path, so the equivalence tests compare genuinely
+// different sweep structures over identical building blocks.
+func (n *Network) stepDense() {
 	for i := range n.flows {
 		if n.flows[i].Src == n.flows[i].Dst {
 			continue // local communication bypasses the NoC
 		}
-		n.acc[i] += n.flows[i].Rate
-		for n.acc[i] >= float64(n.cfg.FlitsPerPacket) {
+		n.advanceAccrual(i, n.cycle)
+	}
+	// One flit per cycle enters each source tile's local input port (only
+	// tiles with flows can ever inject).
+	for _, t := range n.srcTiles {
+		n.injectAtTile(t)
+	}
+	for t := range n.routers {
+		if n.routers[t].buffered == 0 {
+			continue
+		}
+		n.routeComputeRouter(t)
+	}
+	arrivals := n.arrivalScratch[:0]
+	for t := range n.routers {
+		if n.routers[t].buffered == 0 {
+			continue // no flits: arbitration and traversal are no-ops
+		}
+		arrivals = n.traverseRouter(t, arrivals)
+	}
+	n.applyArrivals(arrivals)
+	n.arrivalScratch = arrivals[:0]
+	n.foldRatesDense()
+	n.cycle++
+}
+
+// Run advances the simulation by the given number of cycles. On the active
+// path, stretches where no router holds a flit and no tile has injection
+// work are skipped in one jump to the next flow wakeup: no per-cycle state
+// changes in between (rate decay and demand accrual are lazy, credits are
+// clear between cycles), so the jump is exact.
+func (n *Network) Run(cycles int) {
+	end := n.cycle + cycles
+	for n.cycle < end {
+		if n.cfg.Stepping == SteppingActive && n.activeRouters.empty() && n.activeTiles.empty() {
+			next := end
+			if len(n.wake) > 0 && n.wake[0].cycle < next {
+				next = n.wake[0].cycle
+			}
+			if next > n.cycle {
+				n.cycle = next
+				continue
+			}
+		}
+		n.Step()
+	}
+}
+
+// processWakeups replays demand accrual for every flow whose wakeup is due,
+// then books the next one. Wakeups are scheduled at or before each credit
+// crossing, so accrual state is always current by the time it can matter.
+//
+//parm:hot
+func (n *Network) processWakeups() {
+	for len(n.wake) > 0 && n.wake[0].cycle <= n.cycle {
+		w := n.wake.pop()
+		if n.nextWake[w.flow] != w.cycle {
+			continue // superseded booking
+		}
+		n.advanceAccrual(w.flow, n.cycle)
+		n.scheduleWake(w.flow)
+	}
+}
+
+// advanceAccrual replays flow i's per-cycle demand accrual up to and
+// including cycle through, exactly as the dense loop would have: one
+// floating-point add per cycle, stagings and stall accounting at the
+// precise crossing cycles. Replaying the adds (rather than closing the sum
+// into k*rate) keeps the float trajectory bit-identical to the reference.
+//
+//parm:hot
+func (n *Network) advanceAccrual(i, through int) {
+	if through <= n.accCycle[i] {
+		return
+	}
+	// Locals keep the replay loop in registers; the adds and compares are
+	// the same float operations in the same order as the per-cycle form.
+	rate := n.flows[i].Rate
+	fpp := float64(n.cfg.FlitsPerPacket)
+	acc := n.acc[i]
+	for c := n.accCycle[i] + 1; c <= through; c++ {
+		acc += rate
+		for acc >= fpp {
 			if n.staged[i] >= n.cfg.StagedPackets {
 				n.stats[i].StalledCycles++
 				// Drop the accrued packet's credit: the source is
 				// backpressured and the demand is deferred.
-				n.acc[i] -= float64(n.cfg.FlitsPerPacket)
+				acc -= fpp
 				break
 			}
-			n.acc[i] -= float64(n.cfg.FlitsPerPacket)
-			n.staged[i]++
+			acc -= fpp
+			n.incStaged(i)
 		}
 	}
-	// One flit per cycle enters each source tile's local input port (only
-	// tiles with flows can ever inject).
+	n.acc[i] = acc
+	n.accCycle[i] = through
+}
+
+// scheduleWake books flow i's next accrual wakeup: a conservative lower
+// bound on its next credit crossing. Waking early is always safe (the flow
+// advances and re-estimates); waking late would miss a staging cycle, so
+// the estimate subtracts a margin covering the worst-case rounding drift of
+// k replayed additions (O(k^2) ulps around the crossing) and falls back to
+// geometric halving when the margin would swallow the whole estimate.
+func (n *Network) scheduleWake(i int) {
+	r := n.flows[i].Rate
+	if r <= 0 {
+		n.nextWake[i] = -1
+		return
+	}
+	deficit := float64(n.cfg.FlitsPerPacket) - n.acc[i]
+	est := deficit / r
+	if est > 1<<50 {
+		est = 1 << 50
+	}
+	k := int(est)
+	margin := 2 + int(float64(k)*float64(k)*4e-15)
+	step := k - margin
+	if half := k / 2; step < half {
+		step = half
+	}
+	if step < 1 {
+		step = 1
+	}
+	wake := n.accCycle[i] + step
+	n.nextWake[i] = wake
+	n.wake.push(flowWake{cycle: wake, flow: i})
+}
+
+// incStaged stages one packet of flow fi and keeps the per-tile staged-flow
+// count and injection active set in sync.
+//
+//parm:hot
+func (n *Network) incStaged(fi int) {
+	n.staged[fi]++
+	if n.staged[fi] == 1 {
+		src := int(n.flows[fi].Src)
+		n.stagedFlows[src]++
+		n.activeTiles.set(src)
+	}
+}
+
+// decStaged consumes one staged packet of flow fi.
+//
+//parm:hot
+func (n *Network) decStaged(fi int) {
+	n.staged[fi]--
+	if n.staged[fi] == 0 {
+		src := int(n.flows[fi].Src)
+		n.stagedFlows[src]--
+		if n.stagedFlows[src] == 0 {
+			n.updateTileActivity(src)
+		}
+	}
+}
+
+// updateTileActivity recomputes tile t's membership in the injection active
+// set: it has work while a packet is mid-injection or any of its flows has
+// staged packets.
+//
+//parm:hot
+func (n *Network) updateTileActivity(t int) {
+	if n.partialFlow[t] >= 0 || n.stagedFlows[t] > 0 {
+		n.activeTiles.set(t)
+	} else {
+		n.activeTiles.clear(t)
+	}
+}
+
+// injectAtTile moves at most one NIC flit into tile t's local input port.
+//
+//parm:hot
+func (n *Network) injectAtTile(t int) {
 	lp := dirIndex(geom.Local)
-	for _, t := range n.srcTiles {
-		r := &n.routers[t]
-		if r.inputs[lp].len() >= n.cfg.BufferFlits {
-			continue
-		}
-		fi := n.pickInjection(t)
-		if fi < 0 {
-			continue
-		}
-		k := n.flitToInject(t, fi)
-		if n.faults != nil && (k.kind == KindHead || k.kind == KindHeadTail) {
-			// Path-noise accounting starts at the injection router.
-			k.noise = n.env.psnAt(geom.TileID(t))
-		}
-		r.inputs[lp].push(k)
-		r.buffered++
-		r.received++
-		n.stats[fi].InjectedFlits++
+	r := &n.routers[t]
+	if r.inputs[lp].len() >= n.cfg.BufferFlits {
+		return
 	}
+	fi := n.pickInjection(t)
+	if fi < 0 {
+		return
+	}
+	k := n.flitToInject(t, fi)
+	if n.faults != nil && (k.kind == KindHead || k.kind == KindHeadTail) {
+		// Path-noise accounting starts at the injection router.
+		k.noise = n.env.psnAt(geom.TileID(t))
+	}
+	r.inputs[lp].push(k)
+	r.buffered++
+	n.activeRouters.set(t)
+	n.noteReceive(r, t)
+	n.stats[fi].InjectedFlits++
 }
 
 // pickInjection selects which flow injects at tile t this cycle: the
@@ -294,13 +541,14 @@ func (n *Network) flitToInject(t, fi int) flit {
 		// Start a new packet.
 		seq := n.nextSeq[fi]
 		n.nextSeq[fi]++
-		n.staged[fi]--
-		n.packetStarts[[2]int{fi, seq}] = n.cycle
+		n.decStaged(fi)
+		n.starts[fi].record(seq, n.cycle)
 		if fpp == 1 {
 			return flit{kind: KindHeadTail, flow: fi, packet: seq, dst: n.flows[fi].Dst, born: n.cycle}
 		}
 		n.partialFlow[t] = fi
 		n.partialLeft[t] = fpp - 1
+		n.activeTiles.set(t)
 		return flit{kind: KindHead, flow: fi, packet: seq, dst: n.flows[fi].Dst, born: n.cycle}
 	}
 	seq := n.nextSeq[fi] - 1
@@ -309,117 +557,111 @@ func (n *Network) flitToInject(t, fi int) flit {
 	if n.partialLeft[t] == 0 {
 		kind = KindTail
 		n.partialFlow[t] = -1
+		n.updateTileActivity(t)
 	}
 	return flit{kind: kind, flow: fi, packet: seq, dst: n.flows[fi].Dst, born: n.cycle}
 }
 
-// routeCompute assigns output directions to unrouted head flits at the
-// front of input buffers.
+// routeComputeRouter assigns output directions to unrouted head flits at
+// the front of router t's input buffers.
 //
 //parm:hot
-func (n *Network) routeCompute() {
-	for t := range n.routers {
-		r := &n.routers[t]
-		if r.buffered == 0 {
+func (n *Network) routeComputeRouter(t int) {
+	r := &n.routers[t]
+	for p := range r.inputs {
+		if r.inputs[p].len() == 0 {
 			continue
 		}
-		for p := range r.inputs {
-			if r.inputs[p].len() == 0 {
-				continue
-			}
-			f := r.inputs[p].front()
-			if f.routed || (f.kind != KindHead && f.kind != KindHeadTail) {
-				continue
-			}
-			ctx := RouteCtx{
-				Net:            n,
-				At:             geom.TileID(t),
-				Dst:            f.dst,
-				InDir:          indexDir[p],
-				InputOccupancy: r.occupancy(p, n.cfg.BufferFlits),
-			}
-			f.outDir = n.alg.Route(ctx)
-			f.routed = true
+		f := r.inputs[p].front()
+		if f.routed || (f.kind != KindHead && f.kind != KindHeadTail) {
+			continue
 		}
+		ctx := RouteCtx{
+			Net:            n,
+			At:             geom.TileID(t),
+			Dst:            f.dst,
+			InDir:          indexDir[p],
+			InputOccupancy: r.occupancy(p, n.cfg.BufferFlits),
+		}
+		f.outDir = n.alg.Route(ctx)
+		f.routed = true
 	}
 }
 
-// switchTraversal performs output arbitration and moves at most one flit
-// per output port, collecting link crossings to apply after the sweep.
+// traverseRouter performs output arbitration and moves at most one flit per
+// output port of router t, appending link crossings to arrivals. When the
+// router drains completely it leaves the active set.
 //
 //parm:hot
-func (n *Network) switchTraversal() []pendingArrival {
-	arrivals := n.arrivalScratch[:0]
-	for t := range n.routers {
-		r := &n.routers[t]
-		if r.buffered == 0 {
-			continue // no flits: arbitration and traversal are no-ops
+func (n *Network) traverseRouter(t int, arrivals []pendingArrival) []pendingArrival {
+	r := &n.routers[t]
+	// Output arbitration: free outputs pick a requesting input.
+	for out := 0; out < geom.NumPorts; out++ {
+		if r.owner[out] != noOwner {
+			continue
 		}
-		// Output arbitration: free outputs pick a requesting input.
-		for out := 0; out < geom.NumPorts; out++ {
-			if r.owner[out] != noOwner {
+		for k := 0; k < geom.NumPorts; k++ {
+			in := (r.rrPtr[out] + k) % geom.NumPorts
+			if r.inputs[in].len() == 0 {
 				continue
 			}
-			for k := 0; k < geom.NumPorts; k++ {
-				in := (r.rrPtr[out] + k) % geom.NumPorts
-				if r.inputs[in].len() == 0 {
-					continue
-				}
-				f := r.inputs[in].front()
-				if !f.routed || dirIndex(f.outDir) != out {
-					continue
-				}
-				r.owner[out] = in
-				r.rrPtr[out] = (in + 1) % geom.NumPorts
-				break
+			f := r.inputs[in].front()
+			if !f.routed || dirIndex(f.outDir) != out {
+				continue
 			}
+			r.owner[out] = in
+			r.rrPtr[out] = (in + 1) % geom.NumPorts
+			break
 		}
-		// Traversal: each owned output forwards its input's front flit.
-		for out := 0; out < geom.NumPorts; out++ {
-			in := r.owner[out]
-			if in == noOwner || r.inputs[in].len() == 0 {
-				continue
-			}
-			if out == dirIndex(geom.Local) {
-				// Ejection: infinite sink.
-				f := r.inputs[in].pop()
-				r.buffered--
-				r.forwarded++
-				n.eject(f)
-				if f.kind == KindTail || f.kind == KindHeadTail {
-					r.owner[out] = noOwner
-				}
-				continue
-			}
-			dir := indexDir[out]
-			next, ok := n.mesh.Neighbor(geom.TileID(t), dir)
-			if !ok {
-				// Misrouting off-mesh cannot happen with a sane algorithm;
-				// drop the channel to avoid wedging the port forever.
-				r.owner[out] = noOwner
-				continue
-			}
-			dstPort := dirIndex(dir.Opposite())
-			nr := &n.routers[next]
-			if nr.inputs[dstPort].len()+n.inFlight[next][dstPort] >= n.cfg.BufferFlits {
-				continue // no downstream credit
-			}
-			n.inFlight[next][dstPort]++
+	}
+	// Traversal: each owned output forwards its input's front flit.
+	for out := 0; out < geom.NumPorts; out++ {
+		in := r.owner[out]
+		if in == noOwner || r.inputs[in].len() == 0 {
+			continue
+		}
+		if out == dirIndex(geom.Local) {
+			// Ejection: infinite sink.
 			f := r.inputs[in].pop()
 			r.buffered--
 			r.forwarded++
-			// Body/tail flits follow the worm without route computation.
-			moved := f
-			moved.routed = false
-			moved.outDir = geom.DirInvalid
-			// Bounded by the scratch capacity NewNetwork preallocated: one
-			// arrival per (tile, port) per cycle.
-			//parm:alloc
-			arrivals = append(arrivals, pendingArrival{to: next, port: dstPort, f: moved})
+			n.eject(f)
 			if f.kind == KindTail || f.kind == KindHeadTail {
 				r.owner[out] = noOwner
 			}
+			continue
 		}
+		dir := indexDir[out]
+		next, ok := n.mesh.Neighbor(geom.TileID(t), dir)
+		if !ok {
+			// Misrouting off-mesh cannot happen with a sane algorithm;
+			// drop the channel to avoid wedging the port forever.
+			r.owner[out] = noOwner
+			continue
+		}
+		dstPort := dirIndex(dir.Opposite())
+		nr := &n.routers[next]
+		if nr.inputs[dstPort].len()+n.inFlight[next][dstPort] >= n.cfg.BufferFlits {
+			continue // no downstream credit
+		}
+		n.inFlight[next][dstPort]++
+		f := r.inputs[in].pop()
+		r.buffered--
+		r.forwarded++
+		// Body/tail flits follow the worm without route computation.
+		moved := f
+		moved.routed = false
+		moved.outDir = geom.DirInvalid
+		// Bounded by the scratch capacity NewNetwork preallocated: one
+		// arrival per (tile, port) per cycle.
+		//parm:alloc
+		arrivals = append(arrivals, pendingArrival{to: next, port: dstPort, f: moved})
+		if f.kind == KindTail || f.kind == KindHeadTail {
+			r.owner[out] = noOwner
+		}
+	}
+	if r.buffered == 0 {
+		n.activeRouters.clear(t)
 	}
 	return arrivals
 }
@@ -435,24 +677,24 @@ func (n *Network) eject(f flit) {
 	st := &n.stats[f.flow]
 	st.DeliveredFlits++
 	if n.faults != nil && f.kind == KindHead {
-		// Park the head's path noise until the tail closes the packet.
-		n.packetNoise[[2]int{f.flow, f.packet}] = f.noise
+		// Park the head's path noise until the tail closes the packet. One
+		// slot per flow suffices: the local output port's owner is held from
+		// head to tail, so a flow's packets eject contiguously.
+		n.headNoise[f.flow] = f.noise
 	}
 	if f.kind != KindTail && f.kind != KindHeadTail {
 		return
 	}
-	key := [2]int{f.flow, f.packet}
 	if n.faults != nil {
 		noise := f.noise
 		if f.kind == KindTail {
-			noise = n.packetNoise[key]
-			delete(n.packetNoise, key)
+			noise = n.headNoise[f.flow]
 		}
 		if n.faults.DropPacket(noise) {
 			st.DroppedPackets++
-			delete(n.packetStarts, key)
+			n.starts[f.flow].take(f.packet)
 			if n.staged[f.flow] < n.cfg.StagedPackets {
-				n.staged[f.flow]++
+				n.incStaged(f.flow)
 				n.pendingRecovery[f.flow]++
 				st.RetransmittedPackets++
 			} else {
@@ -466,9 +708,8 @@ func (n *Network) eject(f flit) {
 		}
 	}
 	st.DeliveredPackets++
-	if born, ok := n.packetStarts[key]; ok {
+	if born, ok := n.starts[f.flow].take(f.packet); ok {
 		st.TotalPacketLatency += n.cycle - born + 1
-		delete(n.packetStarts, key)
 	}
 }
 
@@ -489,24 +730,100 @@ func (n *Network) applyArrivals(arrivals []pendingArrival) {
 		r := &n.routers[a.to]
 		r.inputs[a.port].push(a.f)
 		r.buffered++
-		r.received++
+		n.activeRouters.set(int(a.to))
+		n.noteReceive(r, int(a.to))
 		n.inFlight[a.to][a.port] = 0
 	}
 }
 
-// updateRates advances the per-router incoming-rate EWMAs.
+// noteReceive counts a flit entering any of router r's input buffers this
+// cycle and enrolls the tile in the per-cycle rated list (once).
 //
 //parm:hot
-func (n *Network) updateRates() {
+func (n *Network) noteReceive(r *router, t int) {
+	if r.recvCycle != n.cycle {
+		r.recvCycle = n.cycle
+		r.recvCount = 0
+		// Bounded by the rated capacity NewNetwork preallocated: one entry
+		// per tile per cycle.
+		//parm:alloc
+		n.rated = append(n.rated, t)
+	}
+	r.recvCount++
+}
+
+// ewmaStep is the one incoming-rate update everybody shares. Keeping eager,
+// lazy, and catch-up updates on this exact expression guarantees they round
+// identically whether or not the compiler fuses the multiply-add.
+//
+//parm:hot
+func ewmaStep(rate, alpha, sample float64) float64 {
+	return (1-alpha)*rate + alpha*sample
+}
+
+// catchUpRate folds router r's pending idle-cycle rate decay through the
+// given cycle. Every cycle with a receive is folded eagerly at its own end
+// (foldRates), so all pending cycles here sampled zero flits; a zero rate
+// then stays zero, which lets long-idle routers skip the replay outright.
+//
+//parm:hot
+func (n *Network) catchUpRate(r *router, through int) {
+	if r.rateCycle > through {
+		return
+	}
+	// Exact shortcut, not a tolerance: ewmaStep(0, alpha, 0) == 0.
+	//parm:floateq
+	if r.incomingRate == 0 {
+		r.rateCycle = through + 1
+		return
+	}
+	alpha := n.cfg.RateEWMA
+	rate := r.incomingRate
+	for c := r.rateCycle; c <= through; c++ {
+		next := ewmaStep(rate, alpha, 0)
+		// Deep-subnormal rates reach a rounding fixed point where the decay
+		// is exactly idempotent; the remaining replay is then a no-op. Exact
+		// comparison, not a tolerance.
+		//parm:floateq
+		if next == rate {
+			break
+		}
+		rate = next
+	}
+	r.incomingRate = rate
+	r.rateCycle = through + 1
+}
+
+// foldRates advances the incoming-rate EWMA of every router that received
+// flits this cycle (the rated list); routers that received nothing keep a
+// pending decay that catchUpRate folds lazily on first read.
+//
+//parm:hot
+func (n *Network) foldRates() {
+	alpha := n.cfg.RateEWMA
+	for _, t := range n.rated {
+		r := &n.routers[t]
+		n.catchUpRate(r, n.cycle-1)
+		r.incomingRate = ewmaStep(r.incomingRate, alpha, float64(r.recvCount))
+		r.rateCycle = n.cycle + 1
+	}
+	n.rated = n.rated[:0]
+}
+
+// foldRatesDense advances every router's incoming-rate EWMA eagerly, as the
+// reference loop did each cycle.
+func (n *Network) foldRatesDense() {
 	alpha := n.cfg.RateEWMA
 	for t := range n.routers {
 		r := &n.routers[t]
-		// received accumulates within the cycle; convert to a per-cycle
-		// sample by diffing against the running total.
-		sample := float64(r.received - int(r.lastReceived))
-		r.incomingRate = (1-alpha)*r.incomingRate + alpha*sample
-		r.lastReceived = int64(r.received)
+		sample := 0.0
+		if r.recvCycle == n.cycle {
+			sample = float64(r.recvCount)
+		}
+		r.incomingRate = ewmaStep(r.incomingRate, alpha, sample)
+		r.rateCycle = n.cycle + 1
 	}
+	n.rated = n.rated[:0]
 }
 
 // Result summarizes a measurement window.

@@ -44,6 +44,12 @@ func TestConfigDefaults(t *testing.T) {
 	if c.RateEWMA != 0.05 {
 		t.Errorf("RateEWMA = %g, want 0.05", c.RateEWMA)
 	}
+	if c.SatLinkLoad != 0.6 {
+		t.Errorf("SatLinkLoad = %g, want 0.6", c.SatLinkLoad)
+	}
+	if c.Stepping != SteppingActive {
+		t.Errorf("Stepping = %d, want SteppingActive", c.Stepping)
+	}
 }
 
 // Each mesh dimension defaults independently: setting only Width must not

@@ -76,13 +76,16 @@ type router struct {
 
 	// forwarded counts flits that traversed the crossbar (all outputs).
 	forwarded int
-	// received counts flits written into any input buffer; lastReceived is
-	// the previous cycle's total, for per-cycle rate sampling.
-	received     int
-	lastReceived int64
+	// recvCycle/recvCount sample flits written into any input buffer during
+	// one cycle (noteReceive); recvCycle is -1 until the first receive.
+	recvCycle int
+	recvCount int
 	// incomingRate is an exponentially weighted moving average of received
-	// flits per cycle; adaptive routing reads it from neighbors.
+	// flits per cycle; adaptive routing reads it from neighbors. rateCycle
+	// is the first cycle not yet folded into it — idle-cycle decay is
+	// applied lazily (catchUpRate), eagerly under SteppingDense.
 	incomingRate float64
+	rateCycle    int
 }
 
 // occupancy returns the fill fraction of input port p's buffer.
