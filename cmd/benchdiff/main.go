@@ -1,0 +1,230 @@
+// Command benchdiff compares two BENCH_parm.json reports (parm-bench/v1,
+// produced by experiments -bench) and fails when the new report regressed
+// past tolerance. It is the CI regression gate: raw ns/op results gate with
+// -tol, the machine-portable derived speedup ratios with -dtol, and
+// individual benchmarks can carry their own threshold via -over.
+//
+// Usage:
+//
+//	benchdiff [-tol 1.30] [-dtol 1.35] [-over name=ratio,...] old.json new.json
+//
+// Exit status: 0 within tolerance, 1 regression or missing benchmark,
+// 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchReport mirrors the parm-bench/v1 document written by
+// cmd/experiments -bench (see cmd/experiments/bench.go).
+type benchReport struct {
+	Schema  string `json:"schema"`
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	CPUs    int    `json:"cpus"`
+	Results []struct {
+		Name    string  `json:"name"`
+		Iters   int     `json:"iters"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"results"`
+	Derived map[string]float64 `json:"derived"`
+}
+
+// run is the testable CLI body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 1.30, "fail when new ns/op exceeds old by more than this ratio")
+	dtol := fs.Float64("dtol", 1.35, "fail when a derived speedup ratio shrinks by more than this factor")
+	over := fs.String("over", "", "per-benchmark tolerance overrides, name=ratio comma-separated")
+	fs.Usage = func() {
+		fprintf(stderr, "usage: benchdiff [-tol ratio] [-dtol ratio] [-over name=ratio,...] old.json new.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	overrides, err := parseOverrides(*over)
+	if err != nil {
+		fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	old, err := readReport(fs.Arg(0))
+	if err != nil {
+		fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := readReport(fs.Arg(1))
+	if err != nil {
+		fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	var b strings.Builder
+	failed := diff(&b, old, cur, *tol, *dtol, overrides)
+	if _, err := io.WriteString(stdout, b.String()); err != nil {
+		fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// diff renders the comparison into b and reports whether any benchmark
+// regressed past its tolerance or disappeared from the new report.
+func diff(b *strings.Builder, old, cur *benchReport, tol, dtol float64, overrides map[string]float64) bool {
+	curNs := make(map[string]float64, len(cur.Results))
+	for _, r := range cur.Results {
+		curNs[r.Name] = r.NsPerOp
+	}
+	if old.GOOS != cur.GOOS || old.GOARCH != cur.GOARCH || old.CPUs != cur.CPUs {
+		fmt.Fprintf(b, "note: comparing across machines (%s/%s cpus=%d vs %s/%s cpus=%d); ns/op ratios are indicative only\n",
+			old.GOOS, old.GOARCH, old.CPUs, cur.GOOS, cur.GOARCH, cur.CPUs)
+	}
+
+	failed := false
+	fmt.Fprintf(b, "%-40s %14s %14s %7s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "status")
+	for _, r := range old.Results {
+		limit := tol
+		if o, ok := overrides[r.Name]; ok {
+			limit = o
+		}
+		nw, ok := curNs[r.Name]
+		if !ok {
+			fmt.Fprintf(b, "%-40s %14.0f %14s %7s %9s\n", r.Name, r.NsPerOp, "-", "-", "MISSING")
+			failed = true
+			continue
+		}
+		if r.NsPerOp <= 0 || nw <= 0 {
+			fmt.Fprintf(b, "%-40s %14.0f %14.0f %7s %9s\n", r.Name, r.NsPerOp, nw, "-", "INVALID")
+			failed = true
+			continue
+		}
+		ratio := nw / r.NsPerOp
+		status := "ok"
+		switch {
+		case ratio > limit:
+			status = "REGRESSED"
+			failed = true
+		case ratio < 1/limit:
+			status = "improved"
+		}
+		fmt.Fprintf(b, "%-40s %14.0f %14.0f %7.2f %9s\n", r.Name, r.NsPerOp, nw, ratio, status)
+	}
+	for _, r := range cur.Results {
+		found := false
+		for _, o := range old.Results {
+			if o.Name == r.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(b, "%-40s %14s %14.0f %7s %9s\n", r.Name, "-", r.NsPerOp, "-", "new")
+		}
+	}
+
+	// Derived speedup ratios are "bigger is better" and machine-portable:
+	// a shrink past dtol fails even across hosts.
+	names := make([]string, 0, len(old.Derived))
+	for name := range old.Derived {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ov := old.Derived[name]
+		nv, ok := cur.Derived[name]
+		if !ok {
+			fmt.Fprintf(b, "%-40s %14.2f %14s %7s %9s\n", "derived/"+name, ov, "-", "-", "MISSING")
+			failed = true
+			continue
+		}
+		if ov <= 0 || nv <= 0 {
+			fmt.Fprintf(b, "%-40s %14.2f %14.2f %7s %9s\n", "derived/"+name, ov, nv, "-", "INVALID")
+			failed = true
+			continue
+		}
+		limit := dtol
+		if o, ok := overrides["derived/"+name]; ok {
+			limit = o
+		}
+		ratio := ov / nv // >1 means the speedup shrank
+		status := "ok"
+		switch {
+		case ratio > limit:
+			status = "REGRESSED"
+			failed = true
+		case ratio < 1/limit:
+			status = "improved"
+		}
+		fmt.Fprintf(b, "%-40s %14.2f %14.2f %7.2f %9s\n", "derived/"+name, ov, nv, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(b, "\nFAIL: regression past tolerance (ns/op tol %.2f, derived tol %.2f)\n", tol, dtol)
+	}
+	return failed
+}
+
+// readReport loads and validates one parm-bench/v1 document.
+func readReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "parm-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q (want parm-bench/v1)", path, rep.Schema)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+// parseOverrides parses "name=ratio,name=ratio" per-benchmark tolerances.
+func parseOverrides(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad override %q (want name=ratio)", part)
+		}
+		ratio, err := strconv.ParseFloat(val, 64)
+		if err != nil || ratio <= 1 {
+			return nil, fmt.Errorf("bad override ratio %q for %s (want a float > 1)", val, name)
+		}
+		out[name] = ratio
+	}
+	return out, nil
+}
+
+// fprintf drops the write error: CLI output to stdout/stderr has no recovery
+// path.
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	//parm:errok
+	fmt.Fprintf(w, format, args...)
+}

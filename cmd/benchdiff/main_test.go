@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport serializes a minimal parm-bench/v1 document to a temp file.
+func writeReport(t *testing.T, name string, ns map[string]float64, derived map[string]float64) string {
+	t.Helper()
+	type result struct {
+		Name    string  `json:"name"`
+		Iters   int     `json:"iters"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	doc := struct {
+		Schema  string             `json:"schema"`
+		GOOS    string             `json:"goos"`
+		GOARCH  string             `json:"goarch"`
+		CPUs    int                `json:"cpus"`
+		Results []result           `json:"results"`
+		Derived map[string]float64 `json:"derived"`
+	}{Schema: "parm-bench/v1", GOOS: "linux", GOARCH: "amd64", CPUs: 4, Derived: derived}
+	// Deterministic result order for stable output assertions.
+	names := make([]string, 0, len(ns))
+	for n := range ns {
+		names = append(names, n)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		doc.Results = append(doc.Results, result{Name: n, Iters: 100, NsPerOp: ns[n]})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestWithinToleranceExitsZero(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 100, "b": 200}, map[string]float64{"s": 4})
+	cur := writeReport(t, "new.json", map[string]float64{"a": 110, "b": 190}, map[string]float64{"s": 3.9})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if strings.Contains(out, "REGRESSED") || strings.Contains(out, "FAIL") {
+		t.Errorf("clean diff reports a failure:\n%s", out)
+	}
+}
+
+func TestRegressionExitsOne(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 100, "b": 200}, nil)
+	cur := writeReport(t, "new.json", map[string]float64{"a": 250, "b": 200}, nil)
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "FAIL") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+	// b stayed flat and must not be flagged.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "b ") && strings.Contains(line, "REGRESSED") {
+			t.Errorf("unregressed benchmark flagged: %s", line)
+		}
+	}
+}
+
+func TestImprovementExitsZero(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 300}, nil)
+	cur := writeReport(t, "new.json", map[string]float64{"a": 100}, nil)
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Errorf("3x improvement not marked:\n%s", out)
+	}
+}
+
+func TestMissingBenchmarkExitsOne(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 100, "gone": 50}, nil)
+	cur := writeReport(t, "new.json", map[string]float64{"a": 100}, nil)
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("missing benchmark not reported:\n%s", out)
+	}
+}
+
+func TestNewBenchmarkIsInformational(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 100}, nil)
+	cur := writeReport(t, "new.json", map[string]float64{"a": 100, "fresh": 10}, nil)
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (new benchmarks are not failures):\n%s", code, out)
+	}
+	if !strings.Contains(out, "fresh") || !strings.Contains(out, "new") {
+		t.Errorf("new benchmark not listed:\n%s", out)
+	}
+}
+
+func TestDerivedRatioGate(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 100}, map[string]float64{"speedup": 6})
+	cur := writeReport(t, "new.json", map[string]float64{"a": 100}, map[string]float64{"speedup": 2})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (speedup shrank 3x):\n%s", code, out)
+	}
+	if !strings.Contains(out, "derived/speedup") {
+		t.Errorf("derived regression not named:\n%s", out)
+	}
+	// The same shrink passes under a loose -dtol.
+	code, out, _ = runDiff(t, "-dtol", "4", old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d with -dtol 4, want 0:\n%s", code, out)
+	}
+}
+
+func TestPerBenchOverride(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"noisy": 100, "stable": 100}, nil)
+	cur := writeReport(t, "new.json", map[string]float64{"noisy": 180, "stable": 100}, nil)
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 under default tol:\n%s", code, out)
+	}
+	code, out, _ = runDiff(t, "-over", "noisy=2.0", old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d with override, want 0:\n%s", code, out)
+	}
+	if _, _, stderr := runDiff(t, "-over", "bad=0.5", old, cur); stderr == "" {
+		t.Error("override ratio <= 1 accepted")
+	}
+}
+
+func TestUsageAndParseErrorsExitTwo(t *testing.T) {
+	old := writeReport(t, "old.json", map[string]float64{"a": 100}, nil)
+	if code, _, _ := runDiff(t, old); code != 2 {
+		t.Errorf("one argument: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runDiff(t, old, bad); code != 2 || !strings.Contains(stderr, "schema") {
+		t.Errorf("wrong schema: exit %d stderr %q, want 2 with schema error", code, stderr)
+	}
+	if code, _, _ := runDiff(t, old, filepath.Join(t.TempDir(), "absent.json")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+// The committed BENCH_parm.json gates against itself: identity must pass.
+func TestSelfCompareOnCommittedReport(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_parm.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("no committed BENCH_parm.json")
+	}
+	code, out, stderr := runDiff(t, path, path)
+	if code != 0 {
+		t.Fatalf("self-compare exit %d:\n%s%s", code, out, stderr)
+	}
+}

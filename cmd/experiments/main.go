@@ -24,6 +24,7 @@ import (
 	"parm/internal/core"
 	"parm/internal/expr"
 	"parm/internal/obs"
+	"parm/internal/obs/obshttp"
 	"parm/internal/reliability"
 	"parm/internal/report"
 )
@@ -44,9 +45,11 @@ func main() {
 		benchOut = flag.String("benchout", "BENCH_parm.json", "benchmark JSON output path (with -bench)")
 		nocMode  = flag.String("noc", "cycle", "NoC measurement mode: cycle (exact), auto (analytic fast path below saturation), or analytic")
 
-		metricsOut  = flag.String("metrics-out", "", "write the aggregated telemetry snapshot as JSON to this file")
-		timelineOut = flag.String("timeline", "", "write engine events as Chrome trace JSON to this file (runs interleave across parallel cells)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		metricsOut   = flag.String("metrics-out", "", "write the aggregated telemetry snapshot as JSON to this file")
+		timelineOut  = flag.String("timeline", "", "write engine events as Chrome trace JSON to this file (runs interleave across parallel cells)")
+		decisionsOut = flag.String("decisions-out", "", "write the mapper decision provenance log as JSON to this file (runs interleave across parallel cells)")
+		serveAddr    = flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics, /healthz, /snapshot, /decisions, /trace, /debug/pprof/")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 
@@ -89,11 +92,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if *metricsOut != "" {
+	// -serve implies the full telemetry set so every endpoint has data.
+	if *metricsOut != "" || *serveAddr != "" {
 		opt.Telemetry = obs.NewRegistry()
 	}
-	if *timelineOut != "" {
+	if *timelineOut != "" || *serveAddr != "" {
 		opt.Timeline = obs.NewTimeline(1 << 16)
+	}
+	if *decisionsOut != "" || *serveAddr != "" {
+		opt.Decisions = obs.NewDecisionLog(1 << 14)
+	}
+	if *serveAddr != "" {
+		srv, err := obshttp.Serve(*serveAddr, obshttp.Config{
+			Registry: opt.Telemetry, Timeline: opt.Timeline, Decisions: opt.Decisions,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry listening on http://%s/metrics", srv.Addr())
 	}
 
 	emit := func(t *report.Table) {
@@ -181,16 +198,24 @@ func main() {
 			}
 		}
 	}
-	if opt.Telemetry != nil {
+	if opt.Telemetry != nil && *metricsOut != "" {
 		if err := writeFile(*metricsOut, opt.Telemetry.WriteSnapshot); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if opt.Timeline != nil {
+	if opt.Timeline != nil && *timelineOut != "" {
 		if n := opt.Timeline.Dropped(); n > 0 {
 			log.Printf("timeline: %d events dropped (buffer full); earliest events are missing", n)
 		}
+		if n := opt.Timeline.SpanDropped(); n > 0 {
+			log.Printf("timeline: %d spans dropped (ring full); earliest spans are missing", n)
+		}
 		if err := writeFile(*timelineOut, opt.Timeline.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if opt.Decisions != nil && *decisionsOut != "" {
+		if err := writeFile(*decisionsOut, opt.Decisions.WriteJSON); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"parm/internal/appmodel"
 	"parm/internal/core"
 	"parm/internal/obs"
+	"parm/internal/obs/obshttp"
 	"parm/internal/power"
 	"parm/internal/report"
 )
@@ -44,10 +45,12 @@ func main() {
 		savePath = flag.String("save", "", "save the generated workload as JSON to this file")
 		nocMode  = flag.String("noc", "cycle", "NoC measurement mode: cycle (exact), auto (analytic fast path below saturation), or analytic")
 
-		metricsOut  = flag.String("metrics-out", "", "write the telemetry counter snapshot as JSON to this file")
-		timelineOut = flag.String("timeline", "", "write the engine event timeline as Chrome trace JSON to this file (load at ui.perfetto.dev)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
-		psnWorkers  = flag.Int("psnworkers", 0, "PSN solver workers per sample (0 = GOMAXPROCS)")
+		metricsOut   = flag.String("metrics-out", "", "write the telemetry counter snapshot as JSON to this file")
+		timelineOut  = flag.String("timeline", "", "write the engine event timeline as Chrome trace JSON to this file (load at ui.perfetto.dev)")
+		decisionsOut = flag.String("decisions-out", "", "write the mapper decision provenance log as JSON to this file")
+		serveAddr    = flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics, /healthz, /snapshot, /decisions, /trace, /debug/pprof/")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		psnWorkers   = flag.Int("psnworkers", 0, "PSN solver workers per sample (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -157,31 +160,55 @@ func main() {
 	if *traceCSV != "" {
 		trace = eng.EnableTrace()
 	}
+	// -serve implies the full telemetry set so every endpoint has data.
 	var registry *obs.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		registry = obs.NewRegistry()
 		eng.EnableTelemetry(registry)
 	}
 	var timeline *obs.Timeline
-	if *timelineOut != "" {
+	if *timelineOut != "" || *serveAddr != "" {
 		timeline = obs.NewTimeline(1 << 16)
 		eng.AttachTimeline(timeline)
+	}
+	var decisions *obs.DecisionLog
+	if *decisionsOut != "" || *serveAddr != "" {
+		decisions = obs.NewDecisionLog(1 << 14)
+		eng.AttachDecisions(decisions)
+	}
+	if *serveAddr != "" {
+		srv, err := obshttp.Serve(*serveAddr, obshttp.Config{
+			Registry: registry, Timeline: timeline, Decisions: decisions,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry listening on http://%s/metrics", srv.Addr())
 	}
 	m, err := eng.Run(w)
 	if err != nil {
 		log.Fatal(err)
 	}
 	eng.CollectCacheStats(m)
-	if registry != nil {
+	if registry != nil && *metricsOut != "" {
 		if err := writeFile(*metricsOut, registry.WriteSnapshot); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if timeline != nil {
+	if timeline != nil && *timelineOut != "" {
 		if timeline.Dropped() > 0 {
 			log.Printf("timeline: %d events dropped (buffer full); earliest events are missing", timeline.Dropped())
 		}
+		if timeline.SpanDropped() > 0 {
+			log.Printf("timeline: %d spans dropped (ring full); earliest spans are missing", timeline.SpanDropped())
+		}
 		if err := writeFile(*timelineOut, timeline.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if decisions != nil && *decisionsOut != "" {
+		if err := writeFile(*decisionsOut, decisions.WriteJSON); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,90 @@
+// Command promcheck validates a Prometheus text exposition (version 0.0.4)
+// read from a file or stdin — a promtool-style format check in pure Go, so
+// CI can lint a live /metrics scrape without the Prometheus toolchain. It
+// also requires a minimum sample count so an accidentally empty exposition
+// fails loudly.
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | promcheck [-min 1]
+//	promcheck [-min 1] scrape.txt
+//
+// Exit status: 0 valid, 1 malformed or below -min samples, 2 usage error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"parm/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	min := fs.Int("min", 1, "fail when the exposition has fewer than this many samples")
+	fs.Usage = func() {
+		fprintf(stderr, "usage: promcheck [-min n] [file]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+
+	src := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fprintf(stderr, "promcheck: %v\n", err)
+			return 2
+		}
+		defer f.Close() //parm:errok read-only close
+		src = f
+	}
+
+	// Count samples while validating: tee the stream through a counter.
+	samples := 0
+	var buf strings.Builder
+	sc := bufio.NewScanner(io.TeeReader(src, &buf))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fprintf(stderr, "promcheck: reading input: %v\n", err)
+		return 2
+	}
+	if err := obs.ValidateExposition(strings.NewReader(buf.String())); err != nil {
+		fprintf(stderr, "promcheck: %v\n", err)
+		return 1
+	}
+	if samples < *min {
+		fprintf(stderr, "promcheck: %d samples, want at least %d\n", samples, *min)
+		return 1
+	}
+	fprintf(stdout, "promcheck: ok (%d samples)\n", samples)
+	return 0
+}
+
+// fprintf drops the write error: CLI output to stdout/stderr has no recovery
+// path.
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	//parm:errok
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCheck(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestValidExpositionFromStdin(t *testing.T) {
+	text := "# TYPE parm_x counter\nparm_x 3\n"
+	code, out, stderr := runCheck(t, text)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "ok (1 samples)") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestMalformedExpositionFails(t *testing.T) {
+	code, _, stderr := runCheck(t, "9bad 1\n")
+	if code != 1 || stderr == "" {
+		t.Errorf("exit %d stderr %q, want 1 with a diagnostic", code, stderr)
+	}
+}
+
+func TestBelowMinSamplesFails(t *testing.T) {
+	code, _, stderr := runCheck(t, "parm_x 1\n", "-min", "5")
+	if code != 1 || !strings.Contains(stderr, "want at least 5") {
+		t.Errorf("exit %d stderr %q", code, stderr)
+	}
+}
+
+func TestFileArgument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scrape.txt")
+	if err := os.WriteFile(path, []byte("parm_y 2\nparm_z 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCheck(t, "", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "2 samples") {
+		t.Errorf("stdout = %q", out)
+	}
+	if code, _, _ := runCheck(t, "", filepath.Join(t.TempDir(), "none.txt")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

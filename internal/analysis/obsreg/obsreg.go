@@ -14,6 +14,14 @@
 //     with the engine's simulated clock, or replayed runs produce different
 //     traces — the same determinism contract simclock enforces package-wide,
 //     applied to the one API where a wall timestamp is most tempting.
+//   - a Timeline.StartSpan result bound to a local variable that some path
+//     to a function exit fails to pass to Timeline.EndSpan. A leaked span
+//     stays open on the parent stack, mis-parenting every later span and
+//     skewing the rollup; close it on every path (defer EndSpan right after
+//     StartSpan is the sanctioned idiom). Locals that escape — stored in a
+//     field, passed elsewhere, reassigned — are not tracked: the balance is
+//     then someone else's responsibility by design (e.g. the engine's
+//     windowSpan field rolls across samples).
 //
 // Receiver types are matched by name (Registry, Timeline): the analyzer
 // also runs over fixture code that cannot import internal/obs, and no other
@@ -24,6 +32,7 @@ package obsreg
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"parm/internal/analysis"
@@ -34,8 +43,9 @@ import (
 // timestamps fed to the event timeline.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsreg",
-	Doc: "flags obs.Registry registration calls inside //parm:hot loops and " +
-		"wall-clock timestamps in obs.Timeline.Record arguments",
+	Doc: "flags obs.Registry registration calls inside //parm:hot loops, " +
+		"wall-clock timestamps in obs.Timeline.Record arguments, and " +
+		"obs.Timeline.StartSpan locals not closed by EndSpan on every path",
 	Run: run,
 }
 
@@ -56,6 +66,7 @@ func run(pass *analysis.Pass) error {
 			if pass.Suppressed(f, fd.Pos(), "hot") {
 				checkHotBody(pass, f, fd.Body)
 			}
+			checkSpanBalance(pass, f, fd.Body)
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -131,6 +142,153 @@ func checkRecordArgs(pass *analysis.Pass, f *ast.File, record *ast.CallExpr) {
 			}
 			return true
 		})
+	}
+}
+
+// checkSpanBalance verifies every tracked StartSpan local is passed to
+// EndSpan on all control-flow paths to a function exit.
+//
+// Tracked means: bound by `sp := <Timeline>.StartSpan(...)` and used only as
+// the first argument of <Timeline>.EndSpan calls. Any other use (field
+// store, reassignment, argument passing) conservatively untracks the
+// variable — ownership has escaped this function's CFG. A defer'd EndSpan
+// closes the span on every path, so deferred closes exempt their variable
+// from path analysis. Function literals are skipped throughout (cfg.Inspect
+// semantics): a span opened in a closure is that closure's concern.
+func checkSpanBalance(pass *analysis.Pass, f *ast.File, body *ast.BlockStmt) {
+	// Pass 1: collect candidate span locals defined from StartSpan.
+	type spanVar struct {
+		def  *ast.Ident // the := binding
+		call *ast.CallExpr
+	}
+	tracked := map[types.Object]spanVar{}
+	cfg.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isMethodOn(pass, call, "Timeline", "StartSpan") {
+			return true
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			tracked[obj] = spanVar{def: id, call: call}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: sanction the closing uses (EndSpan arg 0) and untrack
+	// everything with any other use. Deferred EndSpans close on every path.
+	sanctioned := map[token.Pos]bool{}
+	deferClosed := map[types.Object]bool{}
+	cfg.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		isDefer := false
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			call, isDefer = s.Call, true
+		case *ast.CallExpr:
+			call = s
+		default:
+			return true
+		}
+		if !isMethodOn(pass, call, "Timeline", "EndSpan") || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if _, isTracked := tracked[obj]; !isTracked {
+			return true
+		}
+		sanctioned[id.Pos()] = true
+		if isDefer {
+			deferClosed[obj] = true
+		}
+		return true
+	})
+	cfg.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		sv, isTracked := tracked[obj]
+		if !isTracked || id == sv.def || sanctioned[id.Pos()] {
+			return true
+		}
+		delete(tracked, obj) // escaped: any non-EndSpan use
+		return true
+	})
+	for obj := range deferClosed {
+		delete(tracked, obj) // closed on every path by defer
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 3: may-analysis over the CFG — a span open on ANY path reaching
+	// a function exit is a leak on that path.
+	g := cfg.New(body)
+	step := func(b *cfg.Block, in cfg.Facts[types.Object]) cfg.Facts[types.Object] {
+		out := in.Clone()
+		for _, node := range b.Nodes {
+			cfg.Inspect(node, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					if s.Tok != token.DEFINE || len(s.Lhs) != 1 {
+						return true
+					}
+					if id, ok := s.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							if _, isTracked := tracked[obj]; isTracked {
+								out = out.Add(obj)
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if isMethodOn(pass, s, "Timeline", "EndSpan") && len(s.Args) > 0 {
+						if id, ok := s.Args[0].(*ast.Ident); ok {
+							out.Delete(pass.TypesInfo.Uses[id])
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	in := cfg.Forward(g, step)
+	reported := map[types.Object]bool{}
+	for _, b := range g.Blocks {
+		if len(b.Succs) != 0 {
+			continue
+		}
+		// Forward returns fixpoint INPUT facts; re-run the transfer to get
+		// what is still open when this exit block falls off the function.
+		for obj := range step(b, in[b]) {
+			sv, isTracked := tracked[obj]
+			if !isTracked || reported[obj] {
+				continue
+			}
+			reported[obj] = true
+			if !pass.Suppressed(f, sv.call.Pos(), "obsreg") {
+				pass.Reportf(sv.call.Pos(), "StartSpan result %q is not passed to EndSpan on every path; "+
+					"defer Timeline.EndSpan right after StartSpan or close it before each return", sv.def.Name)
+			}
+		}
 	}
 }
 

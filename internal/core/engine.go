@@ -315,9 +315,16 @@ type Engine struct {
 
 	// tel holds the pre-registered metrics (EnableTelemetry); its nil
 	// pointers make every update a no-op when telemetry is off. timeline
-	// receives the event records (AttachTimeline), nil when disabled.
-	tel      telemetry
-	timeline *obs.Timeline
+	// receives the event records (AttachTimeline), nil when disabled. reg
+	// keeps the registry so linkObs can attach timeline self-accounting;
+	// decisions receives mapper provenance (AttachDecisions). windowSpan is
+	// the open top-level span covering the current inter-sample window —
+	// every other span nests under it.
+	tel        telemetry
+	timeline   *obs.Timeline
+	reg        *obs.Registry
+	decisions  *obs.DecisionLog
+	windowSpan obs.SpanID
 }
 
 // NewEngine builds an engine for the framework under cfg.
@@ -398,6 +405,7 @@ func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
 		e.push(a.Arrival, evArrival, a.ID)
 	}
 	e.scheduleSample(0)
+	e.windowSpan = e.timeline.StartSpan("window", 0, -1)
 
 	for e.events.Len() > 0 {
 		ev := e.events.pop()
@@ -405,6 +413,8 @@ func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
 			break
 		}
 		e.now = ev.t
+		e.tel.events.Inc()
+		e.tel.simTime.Set(e.now)
 		switch ev.kind {
 		case evArrival:
 			e.arrivalsLeft--
@@ -429,6 +439,8 @@ func (e *Engine) Run(w *appmodel.Workload) (*Metrics, error) {
 			}
 		}
 	}
+	e.timeline.EndSpan(e.windowSpan, e.now)
+	e.windowSpan = 0
 
 	// Final accounting.
 	for _, a := range w.Apps {
@@ -497,7 +509,9 @@ func (e *Engine) trySchedule(resume bool) error {
 		if entry.stalled && !resume {
 			return nil // still waiting for an app exit event
 		}
+		sp := e.timeline.StartSpan("mapper_decide", e.now, entry.app.ID)
 		decision, err := e.algorithm1(entry)
+		e.timeline.EndSpan(sp, e.now)
 		if err != nil {
 			return err
 		}
@@ -582,17 +596,20 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 	}
 
 	feasible := false
+	var att mapAttempt
 	bestVdd, bestDoP, bestWCET := power.Volts(0), 0, inf
 	for _, vdd := range vdds {
 		minWCET := inf // per-Vdd WCET minimum seen so far in the DoP scan
 		for _, dop := range dops {
 			e.tel.candidates.Inc()
+			att.candidates++
 			wcet := app.Bench.WCETEstimate(e.chip.Node, vdd, dop)
 			if wcet < bestWCET {
 				bestVdd, bestDoP, bestWCET = vdd, dop, wcet
 			}
 			if wcet >= remaining {
 				e.tel.rejDeadline.Inc()
+				att.rejDeadline++
 				if wcet > minWCET {
 					// Past the sync knee: WCET is rising as DoP falls, so
 					// lower DoPs are no faster; next (higher) Vdd (line 13).
@@ -605,7 +622,7 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 				minWCET = wcet
 			}
 			feasible = true
-			ok, err := e.tryMapAt(app, vdd, dop, wcet)
+			ok, err := e.tryMapAt(app, vdd, dop, wcet, &att)
 			if err != nil {
 				return 0, err
 			}
@@ -617,7 +634,7 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 	if e.cfg.SoftDeadlines && !feasible && bestDoP > 0 {
 		// Advisory deadlines: no operating point can meet this one, so run
 		// best-effort at the fastest point rather than starving the queue.
-		ok, err := e.tryMapAt(app, bestVdd, bestDoP, bestWCET)
+		ok, err := e.tryMapAt(app, bestVdd, bestDoP, bestWCET, &att)
 		if err != nil {
 			return 0, err
 		}
@@ -628,9 +645,51 @@ func (e *Engine) algorithm1(entry *queueEntry) (decision, error) {
 	if feasible || e.cfg.SoftDeadlines {
 		entry.stalled = true
 		e.tel.stalls.Inc()
+		e.recordDecision(app, "stalled", &att, 0, 0, nil)
 		return decWait, nil
 	}
+	e.recordDecision(app, "dropped", &att, 0, 0, nil)
 	return decDropped, nil
+}
+
+// mapAttempt accumulates one algorithm1 scan's provenance: how many
+// (Vdd, DoP) candidates were examined and why each was rejected. It feeds
+// the DecisionLog; the telemetry counters keep their own running totals.
+type mapAttempt struct {
+	candidates  int
+	rejDeadline int
+	rejBudget   int
+	rejRegion   int
+}
+
+// recordDecision logs one scheduling attempt's outcome with its rejection
+// breakdown. vdd/dop/domains describe the chosen operating point and region
+// for mapped outcomes (zero values otherwise). Nil-guarded so disabled runs
+// skip even the record construction.
+func (e *Engine) recordDecision(app *appmodel.App, outcome string, att *mapAttempt, vdd power.Volts, dop int, domains []chip.DomainID) {
+	if e.decisions == nil {
+		return
+	}
+	d := obs.Decision{
+		TS:          e.now,
+		App:         app.ID,
+		Bench:       app.Bench.Name,
+		Outcome:     outcome,
+		Candidates:  att.candidates,
+		RejDeadline: att.rejDeadline,
+		RejBudget:   att.rejBudget,
+		RejRegion:   att.rejRegion,
+		WaitS:       e.now - app.Arrival,
+	}
+	if outcome == "mapped" {
+		d.Vdd = float64(vdd)
+		d.DoP = dop
+		d.Domains = make([]int, len(domains))
+		for i, dom := range domains {
+			d.Domains[i] = int(dom)
+		}
+	}
+	e.decisions.Record(d)
 }
 
 // inf is a time that no real estimate reaches.
@@ -638,20 +697,23 @@ const inf = 1e308
 
 // tryMapAt attempts to admit the app at one (Vdd, DoP) point: dark-silicon
 // power check (Algorithm 2 line 1), then the framework's mapping heuristic.
-func (e *Engine) tryMapAt(app *appmodel.App, vdd power.Volts, dop int, wcet float64) (bool, error) {
+func (e *Engine) tryMapAt(app *appmodel.App, vdd power.Volts, dop int, wcet float64, att *mapAttempt) (bool, error) {
 	pw := app.Bench.PowerEstimate(e.chip.Node, vdd, dop)
 	if pw > e.chip.Budget.Available() {
 		e.tel.rejBudget.Inc()
+		att.rejBudget++
 		return false, nil
 	}
 	placement, ok := e.fw.Mapper.Map(e.chip, app.Graph(dop))
 	if !ok {
 		e.tel.rejRegion.Inc()
+		att.rejRegion++
 		return false, nil
 	}
 	if err := e.commit(app, vdd, dop, placement, pw, wcet); err != nil {
 		return false, err
 	}
+	e.recordDecision(app, "mapped", att, vdd, dop, placement.Domains)
 	return true, nil
 }
 
@@ -887,7 +949,9 @@ func (e *Engine) measurementFor(flows []noc.Flow) (*noc.Result, error) {
 			}
 		}
 	}
+	sp := e.timeline.StartSpan("noc_window", e.now, -1)
 	res, err := e.simulateWindow(key)
+	e.timeline.EndSpan(sp, e.now)
 	if err != nil {
 		return nil, err
 	}
@@ -972,6 +1036,12 @@ func (e *Engine) simulateWindow(flows []noc.Flow) (*noc.Result, error) {
 // per-edge communication delay function and average packet latency in
 // cycles.
 func (e *Engine) measureNoC(forApp *runningApp) (sched.CommDelay, float64, error) {
+	appID := -1
+	if forApp != nil {
+		appID = forApp.app.ID
+	}
+	sp := e.timeline.StartSpan("noc_measure", e.now, appID)
+	defer e.timeline.EndSpan(sp, e.now)
 	flows, start, end := e.activeFlows(forApp)
 	for i := range e.routerUtil {
 		e.routerUtil[i] = 0
@@ -1042,6 +1112,11 @@ func (e *Engine) eventSample() error {
 // periodicSample takes the scheduled PSN sample, charges voltage-emergency
 // rollbacks to apps whose domains exceeded the threshold, and reschedules.
 func (e *Engine) periodicSample() error {
+	// Roll the top-level window span: one span per inter-sample period, so
+	// every psn_sample/mapper_decide/noc_measure span nests under the window
+	// it happened in.
+	e.timeline.EndSpan(e.windowSpan, e.now)
+	e.windowSpan = e.timeline.StartSpan("window", e.now, -1)
 	s, err := e.samplePSN()
 	if err != nil {
 		return err
@@ -1132,7 +1207,11 @@ func (e *Engine) samplePSN() (*chip.PSNSample, error) {
 		e.lastSampleT = e.now
 		return nil, nil
 	}
+	sp := e.timeline.StartSpan("psn_sample", e.now, -1)
+	defer e.timeline.EndSpan(sp, e.now)
+	ds := e.timeline.StartSpan("domain_solve", e.now, -1)
 	s, err := e.chip.SamplePSN(e.routerUtil)
+	e.timeline.EndSpan(ds, e.now)
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,12 @@ type telemetry struct {
 	flitsInj    *obs.Counter // noc/flits_injected/<scheme>
 	flitsDel    *obs.Counter // noc/flits_delivered/<scheme>
 
+	// Event-loop progress, the /healthz liveness signal: events counts loop
+	// iterations and simTime carries the engine clock, so a frozen simTime
+	// across scrapes distinguishes a stalled run from a slow one.
+	events  *obs.Counter    // engine/events
+	simTime *obs.FloatGauge // engine/sim_time_s
+
 	// PSN / voltage-emergency accounting.
 	ves           *obs.Counter   // engine/ves: VE rollbacks charged
 	rollbacks     *obs.Counter   // engine/rollbacks: explicit executor rollbacks (VERollback)
@@ -69,6 +75,8 @@ func (t *telemetry) init(r *obs.Registry, scheme string, numDomains int) {
 	t.flitsInj = r.Counter("noc/flits_injected/" + scheme)
 	t.flitsDel = r.Counter("noc/flits_delivered/" + scheme)
 
+	t.events = r.Counter("engine/events")
+	t.simTime = r.FloatGauge("engine/sim_time_s")
 	t.ves = r.Counter("engine/ves")
 	t.rollbacks = r.Counter("engine/rollbacks")
 	t.sensorSamples = r.Counter("chip/sensor/samples")
@@ -96,8 +104,10 @@ func (e *Engine) EnableTelemetry(r *obs.Registry) {
 	if r == nil {
 		return
 	}
+	e.reg = r
 	e.tel.init(r, e.fw.Routing.Name(), e.chip.NumDomains())
 	e.chip.Instrument(r)
+	e.linkObs()
 }
 
 // AttachTimeline directs the engine's event timeline (map/unmap/app-span/
@@ -106,4 +116,36 @@ func (e *Engine) EnableTelemetry(r *obs.Registry) {
 // A nil timeline (the default) records nothing.
 func (e *Engine) AttachTimeline(tl *obs.Timeline) {
 	e.timeline = tl
+	e.linkObs()
+}
+
+// AttachDecisions directs the mapper's Algorithm 1 decision provenance into
+// dl: one record per scheduling attempt with the candidate count, the
+// rejection breakdown, and the chosen operating point. A nil log (the
+// default) records nothing.
+func (e *Engine) AttachDecisions(dl *obs.DecisionLog) {
+	e.decisions = dl
+}
+
+// linkObs attaches the timeline's self-accounting — event and span drop
+// counts plus the per-name span rollup — to the registry as snapshot-time
+// collectors, once both sides are present. The collectors only read, so the
+// observational contract holds.
+func (e *Engine) linkObs() {
+	if e.reg == nil || e.timeline == nil {
+		return
+	}
+	tl := e.timeline
+	e.reg.Attach("obs/timeline_dropped", func() interface{} { return tl.Dropped() })
+	e.reg.Attach("obs/span_dropped", func() interface{} { return tl.SpanDropped() })
+	e.reg.Attach("obs/spans", func() interface{} {
+		stats := tl.SpanStats()
+		m := make(map[string]interface{}, len(stats))
+		for _, st := range stats {
+			m[st.Name] = map[string]interface{}{
+				"count": st.Count, "total_s": st.TotalS, "max_s": st.MaxS,
+			}
+		}
+		return m
+	})
 }

@@ -23,6 +23,7 @@ func TestEngineRunsByteIdenticalWithTelemetry(t *testing.T) {
 		if enable {
 			eng.EnableTelemetry(obs.NewRegistry())
 			eng.AttachTimeline(obs.NewTimeline(1 << 12))
+			eng.AttachDecisions(obs.NewDecisionLog(1 << 10))
 		}
 		m, err := eng.Run(w)
 		if err != nil {
@@ -95,6 +96,147 @@ func TestTelemetryCountersPopulated(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"traceEvents"`) {
 		t.Error("trace output missing traceEvents")
+	}
+}
+
+// A full run populates the hierarchical spans with the engine's phase names,
+// proper nesting under the window span, and a rollup; the registry surfaces
+// the timeline's self-accounting and the liveness gauges.
+func TestSpansAndProgressPopulated(t *testing.T) {
+	r := obs.NewRegistry()
+	tl := obs.NewTimeline(1 << 12)
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.EnableTelemetry(r)
+	eng.AttachTimeline(tl)
+	w := genWorkload(t, appmodel.WorkloadMixed, 6, 0.06, 14)
+	m, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tl.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byID := map[obs.SpanID]obs.Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+		if sp.Open {
+			t.Errorf("span %s (%d) still open after Run", sp.Name, sp.ID)
+		}
+		// Non-window spans nest under a window (unless the parent was
+		// evicted from the ring, which a 4096-entry ring on this workload
+		// never hits — assert it stays that way).
+		if sp.Name != "window" && sp.Parent == 0 {
+			t.Errorf("span %s (%d) has no parent", sp.Name, sp.ID)
+		}
+		if p, ok := byID[sp.Parent]; ok {
+			if sp.Start < p.Start-1e-12 || sp.End > p.End+1e-12 {
+				t.Errorf("span %s [%g,%g] outside parent %s [%g,%g]",
+					sp.Name, sp.Start, sp.End, p.Name, p.Start, p.End)
+			}
+		}
+	}
+	for _, want := range []string{"window", "psn_sample", "domain_solve", "mapper_decide", "noc_measure", "noc_window"} {
+		if !names[want] {
+			t.Errorf("no %q spans recorded", want)
+		}
+	}
+
+	stats := tl.SpanStats()
+	if len(stats) < 5 {
+		t.Errorf("span rollup has %d names, want at least 5", len(stats))
+	}
+	for _, st := range stats {
+		if st.Count == 0 {
+			t.Errorf("rollup %s has zero count", st.Name)
+		}
+	}
+
+	// Liveness gauges track the event loop.
+	if got := r.Counter("engine/events").Value(); got == 0 {
+		t.Error("engine/events = 0 after a run")
+	}
+	// The gauge can run slightly past TotalTime: trailing sample events
+	// process after the last app completes.
+	if got := r.FloatGauge("engine/sim_time_s").Value(); got < m.TotalTime-1e-9 {
+		t.Errorf("engine/sim_time_s = %g, want at least TotalTime %g", got, m.TotalTime)
+	}
+
+	// The snapshot carries the attached timeline self-accounting.
+	snap := r.Snapshot()
+	obsTree, ok := snap["obs"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("snapshot missing obs subtree: %v", snap)
+	}
+	if _, ok := obsTree["timeline_dropped"]; !ok {
+		t.Error("snapshot missing obs/timeline_dropped")
+	}
+	if _, ok := obsTree["span_dropped"]; !ok {
+		t.Error("snapshot missing obs/span_dropped")
+	}
+	spansTree, ok := obsTree["spans"].(map[string]interface{})
+	if !ok || len(spansTree) == 0 {
+		t.Fatalf("snapshot obs/spans = %v, want per-name rollup", obsTree["spans"])
+	}
+	if _, ok := spansTree["window"].(map[string]interface{}); !ok {
+		t.Errorf("obs/spans missing window rollup: %v", spansTree)
+	}
+}
+
+// Decision provenance covers every mapper outcome with a consistent
+// rejection breakdown.
+func TestDecisionLogPopulated(t *testing.T) {
+	dl := obs.NewDecisionLog(1 << 10)
+	eng, err := NewEngine(Config{}, MustCombo("PARM", "PANR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachDecisions(dl)
+	// A tight arrival gap forces contention so stalls/drops appear too.
+	w := genWorkload(t, appmodel.WorkloadMixed, 8, 0.01, 11)
+	m, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dl.Decisions()
+	if len(ds) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	mapped := 0
+	for _, d := range ds {
+		switch d.Outcome {
+		case "mapped":
+			mapped++
+			if d.Vdd <= 0 || d.DoP <= 0 || len(d.Domains) == 0 {
+				t.Errorf("mapped decision missing operating point: %+v", d)
+			}
+		case "stalled", "dropped":
+			if d.Vdd != 0 || d.DoP != 0 || d.Domains != nil {
+				t.Errorf("%s decision carries an operating point: %+v", d.Outcome, d)
+			}
+		default:
+			t.Errorf("unknown outcome %q", d.Outcome)
+		}
+		if d.Candidates == 0 {
+			t.Errorf("decision with zero candidates scanned: %+v", d)
+		}
+		if d.Bench == "" {
+			t.Errorf("decision missing bench name: %+v", d)
+		}
+		if d.WaitS < 0 {
+			t.Errorf("negative queue wait: %+v", d)
+		}
+	}
+	if want := m.Completed + m.Unfinished; mapped != want {
+		t.Errorf("%d mapped decisions, want %d (completed+unfinished)", mapped, want)
 	}
 }
 

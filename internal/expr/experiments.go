@@ -41,6 +41,10 @@ type Options struct {
 	// the buffer; attach a timeline when per-run ordering matters only for
 	// single-cell invocations.
 	Timeline *obs.Timeline
+	// Decisions, when non-nil, receives mapper Algorithm 1 decision
+	// provenance from every cell. Like Timeline, records from parallel
+	// cells interleave.
+	Decisions *obs.DecisionLog
 }
 
 func (o Options) withDefaults() Options {
@@ -229,6 +233,9 @@ func RunMetrics(opt Options, fw core.Framework, kind appmodel.WorkloadKind, gap 
 	}
 	if opt.Timeline != nil {
 		eng.AttachTimeline(opt.Timeline)
+	}
+	if opt.Decisions != nil {
+		eng.AttachDecisions(opt.Decisions)
 	}
 	return eng.Run(w)
 }

@@ -100,6 +100,30 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an instantaneous float-valued level (simulated time, a
+// utilization ratio). The zero value is ready to use; a nil FloatGauge
+// discards updates.
+type FloatGauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores the current level.
+//
+//parm:hot
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current level (0 for a nil FloatGauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket distribution. An observation lands in the
 // first bucket whose upper bound is >= the value (upper bounds are
 // inclusive, mirroring Prometheus "le" semantics); values above the last
@@ -204,7 +228,9 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
+	attached map[string]func() interface{}
 }
 
 // NewRegistry returns an empty registry.
@@ -212,7 +238,9 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
+		attached: make(map[string]func() interface{}),
 	}
 }
 
@@ -246,6 +274,40 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// FloatGauge registers (or returns the already-registered) float gauge
+// under name.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
+// Attach registers fn to be evaluated at snapshot time and inserted at the
+// slash-separated name, letting externally-owned state (timeline drop
+// counters, span rollups) appear in the snapshot without copying it on
+// every update. fn must return a JSON-marshalable value and be safe to call
+// concurrently with the rest of the program; numeric leaves (including
+// nested map[string]interface{} trees of numbers) also reach the Prometheus
+// exposition as untyped families. Attaching the same name again replaces
+// the previous collector. Names share the metric namespace and must keep it
+// prefix-free.
+func (r *Registry) Attach(name string, fn func() interface{}) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attached[name] = fn
 }
 
 // Histogram registers (or returns the already-registered) histogram under
@@ -284,8 +346,16 @@ func (r *Registry) Snapshot() map[string]interface{} {
 	for name, g := range r.gauges {
 		insert(root, name, g.Value())
 	}
+	for name, g := range r.fgauges {
+		insert(root, name, g.Value())
+	}
 	for name, h := range r.hists {
 		insert(root, name, h.snapshot())
+	}
+	// Attached collectors run outside the registry lock path of their own
+	// data (each guards its own state); the map itself is guarded here.
+	for name, fn := range r.attached {
+		insert(root, name, fn())
 	}
 	return root
 }

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a promtool-style lint of the Prometheus text exposition
+// format, in pure Go, so CI can validate a live /metrics scrape without
+// installing the Prometheus toolchain. It checks the line grammar (comments,
+// samples with optional labels), metric-name syntax, at most one TYPE per
+// family declared before its samples, float-parsable values, and histogram
+// shape: every histogram family must carry a le="+Inf" bucket whose
+// cumulative count equals _count, with bucket counts non-decreasing in le.
+
+// expoFamily accumulates what the validator learns about one metric family.
+type expoFamily struct {
+	typ      string
+	samples  int
+	buckets  map[float64]float64 // le -> cumulative count (histograms)
+	hasInf   bool
+	infCount float64
+	sum      bool
+	count    bool
+	countVal float64
+}
+
+// ValidateExposition checks that r is well-formed Prometheus text format
+// (version 0.0.4) and returns the first violation found, annotated with its
+// line number. A nil return means every line parsed and every histogram
+// family is internally consistent.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fams := map[string]*expoFamily{}
+	fam := func(name string) *expoFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &expoFamily{buckets: map[float64]float64{}}
+			fams[name] = f
+		}
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, fam); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line, fam); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	return checkHistograms(fams)
+}
+
+// checkComment validates a # line: HELP and TYPE carry a metric name, TYPE
+// additionally a known type declared at most once and before any sample.
+func checkComment(line string, fam func(string) *expoFamily) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP without a valid metric name: %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		f := fam(fields[2])
+		if f.typ != "" {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		if f.samples > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		f.typ = fields[3]
+	}
+	// Other # lines are free-form comments, allowed by the format.
+	return nil
+}
+
+// checkSample validates one sample line and records it against its family
+// (histogram _bucket/_sum/_count series attach to the base family).
+func checkSample(line string, fam func(string) *expoFamily) error {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want 'value [timestamp]' after %q, got %q", name, rest)
+	}
+	val, err := parseExpoValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	base, kind := histSeries(name)
+	f := fam(base)
+	f.samples++
+	switch kind {
+	case "bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("%s without an le label", name)
+		}
+		if le == "+Inf" {
+			f.hasInf = true
+			f.infCount = val
+			return nil
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("%s: bad le bound %q", name, le)
+		}
+		f.buckets[bound] = val
+	case "sum":
+		f.sum = true
+	case "count":
+		f.count = true
+		f.countVal = val
+	}
+	return nil
+}
+
+// histSeries splits a sample name into its family base and histogram series
+// kind ("bucket", "sum", "count", or "" for a plain sample). The suffix is
+// only meaningful when the base family is declared a histogram; for other
+// families checkHistograms ignores the recorded pieces.
+func histSeries(name string) (base, kind string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix), suffix[1:]
+		}
+	}
+	return name, ""
+}
+
+// checkHistograms verifies every declared histogram family has the full
+// bucket chain: a +Inf bucket matching _count, _sum present, and cumulative
+// counts non-decreasing in le.
+func checkHistograms(fams map[string]*expoFamily) error {
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.typ != "histogram" {
+			continue
+		}
+		if !f.hasInf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", n)
+		}
+		if !f.sum || !f.count {
+			return fmt.Errorf("histogram %s is missing _sum or _count", n)
+		}
+		// Integer-valued observation counts: exact comparison intended.
+		//parm:floateq
+		if f.countVal != f.infCount {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", n, f.countVal, f.infCount)
+		}
+		bounds := make([]float64, 0, len(f.buckets))
+		for b := range f.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := 0.0
+		for _, b := range bounds {
+			c := f.buckets[b]
+			if c < prev {
+				return fmt.Errorf("histogram %s: bucket counts decrease at le=%v", n, b)
+			}
+			prev = c
+		}
+		if f.infCount < prev {
+			return fmt.Errorf("histogram %s: +Inf bucket below the last finite bucket", n)
+		}
+	}
+	return nil
+}
+
+// splitSample separates "name{labels} value [ts]" into its parts. labels is
+// nil when the sample carries none.
+func splitSample(line string) (name string, labels map[string]string, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
+		}
+		return line[:sp], nil, line[sp:], nil
+	}
+	name = line[:brace]
+	end := strings.IndexByte(line[brace:], '}')
+	if end < 0 {
+		return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+	}
+	labels, err = parseLabels(line[brace+1 : brace+end])
+	if err != nil {
+		return "", nil, "", err
+	}
+	return name, labels, line[brace+end+1:], nil
+}
+
+// parseLabels parses a comma-separated label list: name="value" pairs with
+// backslash-escaped quotes inside values.
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				val.WriteByte(s[i])
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", lname)
+		}
+		labels[lname] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseExpoValue parses a sample value: a Go float, or the Prometheus
+// spellings of the special values.
+func parseExpoValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "Nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}

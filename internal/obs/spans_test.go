@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildSpanTimeline records the span shape of one scheduling window:
+// window > psn_sample > domain_solve, then window > mapper_decide with two
+// instantaneous noc_measure children sharing the decision's timestamp.
+func buildSpanTimeline() *Timeline {
+	tl := NewTimeline(64)
+	win := tl.StartSpan("window", 0, -1)
+	ps := tl.StartSpan("psn_sample", 0.001, -1)
+	ds := tl.StartSpan("domain_solve", 0.001, -1)
+	tl.EndSpan(ds, 0.001)
+	tl.EndSpan(ps, 0.001)
+	md := tl.StartSpan("mapper_decide", 0.002, 3)
+	nm1 := tl.StartSpan("noc_measure", 0.002, 3)
+	tl.EndSpan(nm1, 0.002)
+	nm2 := tl.StartSpan("noc_measure", 0.002, 3)
+	tl.EndSpan(nm2, 0.002)
+	tl.EndSpan(md, 0.002)
+	tl.EndSpan(win, 0.005)
+	tl.Record(TimelineEvent{Name: "map", TS: 0.002, App: 3, Arg: 4})
+	return tl
+}
+
+// Parent attribution follows the open-span stack, and the rollup aggregates
+// completed spans per name.
+func TestSpanNestingAndStats(t *testing.T) {
+	tl := buildSpanTimeline()
+	spans := tl.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		if sp.Name != "noc_measure" || byName["noc_measure"].ID == 0 {
+			byName[sp.Name] = sp
+		}
+	}
+	if byName["window"].Parent != 0 {
+		t.Errorf("window has parent %d, want root", byName["window"].Parent)
+	}
+	if got, want := byName["psn_sample"].Parent, byName["window"].ID; got != want {
+		t.Errorf("psn_sample parent = %d, want window (%d)", got, want)
+	}
+	if got, want := byName["domain_solve"].Parent, byName["psn_sample"].ID; got != want {
+		t.Errorf("domain_solve parent = %d, want psn_sample (%d)", got, want)
+	}
+	if got, want := byName["mapper_decide"].Parent, byName["window"].ID; got != want {
+		t.Errorf("mapper_decide parent = %d, want window (%d)", got, want)
+	}
+	if got, want := byName["noc_measure"].Parent, byName["mapper_decide"].ID; got != want {
+		t.Errorf("noc_measure parent = %d, want mapper_decide (%d)", got, want)
+	}
+	for _, sp := range spans {
+		if sp.Open {
+			t.Errorf("span %s (%d) still open", sp.Name, sp.ID)
+		}
+	}
+
+	stats := tl.SpanStats()
+	byStat := map[string]SpanStat{}
+	for _, st := range stats {
+		byStat[st.Name] = st
+	}
+	if st := byStat["noc_measure"]; st.Count != 2 {
+		t.Errorf("noc_measure count = %d, want 2", st.Count)
+	}
+	if st := byStat["window"]; st.Count != 1 || st.TotalS != 0.005 || st.MaxS != 0.005 {
+		t.Errorf("window rollup = %+v, want count 1, total/max 0.005", st)
+	}
+	if len(stats) != 5 {
+		t.Errorf("got %d stat names, want 5", len(stats))
+	}
+}
+
+// The span ring evicts oldest-first and counts the losses; orphaned children
+// export as roots rather than vanishing.
+func TestSpanRingEviction(t *testing.T) {
+	tl := NewTimeline(2)
+	a := tl.StartSpan("a", 0, -1)
+	b := tl.StartSpan("b", 1, -1)
+	c := tl.StartSpan("c", 2, -1) // evicts a
+	tl.EndSpan(c, 3)
+	tl.EndSpan(b, 4)
+	tl.EndSpan(a, 5) // a's slot now holds c: must be a no-op
+	if got := tl.SpanDropped(); got != 1 {
+		t.Errorf("SpanDropped = %d, want 1", got)
+	}
+	spans := tl.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d live spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Name == "c" && (sp.Open || sp.End != 3) {
+			t.Errorf("span c corrupted by EndSpan on evicted ID: %+v", sp)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// b's parent (a) was evicted, so b must still appear as a root pair.
+	if !bytes.Contains(buf.Bytes(), []byte(`"name": "b"`)) {
+		t.Errorf("evicted-parent span b missing from trace:\n%s", buf.String())
+	}
+}
+
+// Nil timelines accept the whole span API as no-ops.
+func TestSpanNilTimeline(t *testing.T) {
+	var tl *Timeline
+	id := tl.StartSpan("x", 0, -1)
+	if id != 0 {
+		t.Errorf("nil StartSpan returned %d, want 0", id)
+	}
+	tl.EndSpan(id, 1)
+	if tl.Spans() != nil || tl.SpanStats() != nil || tl.SpanDropped() != 0 {
+		t.Error("nil timeline span accessors not empty")
+	}
+}
+
+// The exported Chrome trace is pinned byte-for-byte: B/E pairs in
+// depth-first order on the span track, so Perfetto renders the hierarchy
+// even though most spans are instantaneous in simulated time.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	tl := buildSpanTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever else, the golden must be valid JSON of the expected shape.
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "span_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			buf.String(), string(want))
+	}
+}
+
+// Span starts deeper than the stack bound still record (with the stack top
+// as parent) without corrupting the stack.
+func TestSpanDepthOverflow(t *testing.T) {
+	tl := NewTimeline(2 * maxSpanDepth)
+	ids := make([]SpanID, 0, maxSpanDepth+4)
+	for i := 0; i < maxSpanDepth+4; i++ {
+		ids = append(ids, tl.StartSpan("deep", float64(i), -1))
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		tl.EndSpan(ids[i], float64(len(ids)))
+	}
+	spans := tl.Spans()
+	if len(spans) != maxSpanDepth+4 {
+		t.Fatalf("got %d spans, want %d", len(spans), maxSpanDepth+4)
+	}
+	closed := 0
+	for _, sp := range spans {
+		if !sp.Open {
+			closed++
+		}
+	}
+	if closed != len(spans) {
+		t.Errorf("%d of %d spans closed, want all", closed, len(spans))
+	}
+}
